@@ -1,0 +1,36 @@
+"""Figures 18-20: runtime vs xi_new on the Pumsb stand-in.
+
+Three panels, one per base algorithm — H-Mine (Fig. 18), FP-growth
+(Fig. 19) and Tree Projection (Fig. 20) — each comparing the
+non-recycling baseline against its MCP- and MLP-recycling variants while
+the minimum support relaxes from xi_old = 90%.
+
+Expected shape (paper Section 5.2): recycling tracks or beats the
+baseline, the gap widening as support drops (over an order of magnitude on this dense dataset); MCP is at least
+as good as MLP.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_and_report
+
+from repro.bench.experiments import figure
+
+
+@pytest.mark.parametrize("number", [18, 19, 20])
+def test_figure(benchmark, number):
+    headers, rows = run_and_report(
+        benchmark, f"Figure {number} — Pumsb", figure, number
+    )
+    assert len(rows) >= 3
+    # Supports relax monotonically and pattern counts grow with them.
+    counts = [row[2] for row in rows]
+    assert counts == sorted(counts), "pattern count must grow as support drops"
+    # MCP never loses to MLP by more than noise; sub-second rows are
+    # dominated by constant overheads and excluded from the comparison.
+    for row in rows:
+        if row[3] >= 0.5:
+            assert row[4] <= row[5] * 2.0, (
+                f"MCP ({row[4]}s) much slower than MLP ({row[5]}s) at xi={row[0]}"
+            )

@@ -1,0 +1,96 @@
+"""Incremental update: recycling vs the FUP baseline (paper Section 6).
+
+The paper argues recycling subsumes incremental techniques without their
+failure modes. This benchmark stages three update scenarios on a Quest
+workload and runs both FUP (the classic incremental baseline) and
+recycling (HM-MCP over the grown database), verifying both against a
+from-scratch re-mine:
+
+* **steady growth** — FUP's home turf (same relative support);
+* **support drop** — the threshold relaxes with the update; FUP's
+  pruning precondition breaks, so it must fall back to scratch mining
+  (reported as such), while recycling just runs;
+* **shrink** — tuples deleted; FUP is undefined, recycling just runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import run_and_report
+
+from repro.core.fup import fup_update
+from repro.core.incremental import apply_deletions, apply_insertions, incremental_mine
+from repro.data.synthetic import QuestParams, quest_database
+from repro.mining.hmine import mine_hmine
+
+_PARAMS = QuestParams(
+    n_transactions=1500, n_items=120, avg_transaction_length=9,
+    n_patterns=40, avg_pattern_length=5,
+)
+
+
+def _scenario_rows():
+    base = quest_database(_PARAMS, seed=3)
+    increment = quest_database(
+        QuestParams(n_transactions=500, n_items=120, avg_transaction_length=9,
+                    n_patterns=40, avg_pattern_length=5),
+        seed=4,
+    )
+    rows: list[list[object]] = []
+
+    def run(label, new_db, xi_old, xi_new, fup_applicable, old_db=None):
+        old_patterns = mine_hmine(old_db if old_db is not None else base, xi_old)
+        started = time.perf_counter()
+        scratch = mine_hmine(new_db, xi_new)
+        scratch_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        recycled = incremental_mine(new_db, old_patterns, xi_new)
+        recycle_s = time.perf_counter() - started
+        assert recycled == scratch
+
+        if fup_applicable:
+            started = time.perf_counter()
+            fup = fup_update(base, increment, old_patterns, xi_new)
+            fup_s = time.perf_counter() - started
+            assert fup == scratch
+            fup_cell: object = fup_s
+        else:
+            fup_cell = "n/a"
+        rows.append([label, xi_old, xi_new, len(scratch), scratch_s, recycle_s, fup_cell])
+
+    # Steady growth, constant 1.5% relative support.
+    grown = apply_insertions(base, increment.transactions)
+    run("growth, same rel. support", grown,
+        xi_old=max(1, int(0.015 * len(base))),
+        xi_new=max(1, int(0.015 * len(grown))),
+        fup_applicable=True)
+
+    # Growth plus a support drop: FUP's precondition fails.
+    run("growth + support drop", grown,
+        xi_old=max(1, int(0.015 * len(base))),
+        xi_new=max(1, int(0.006 * len(grown))),
+        fup_applicable=False)
+
+    # Shrink: FUP undefined, recycling indifferent.
+    shrunk = apply_deletions(base, tids=list(base.tids[:500]))
+    run("shrink (500 tuples deleted)", shrunk,
+        xi_old=max(1, int(0.015 * len(base))),
+        xi_new=max(1, int(0.015 * len(shrunk))),
+        fup_applicable=False)
+
+    headers = ["scenario", "xi_old", "xi_new", "patterns",
+               "scratch_s", "recycle_s", "fup_s"]
+    return headers, rows
+
+
+def test_incremental_baselines(benchmark):
+    headers, rows = run_and_report(
+        benchmark, "Incremental update — recycling vs FUP", _scenario_rows
+    )
+    assert len(rows) == 3
+    # FUP only competes in the first scenario.
+    assert rows[1][6] == "n/a"
+    assert rows[2][6] == "n/a"

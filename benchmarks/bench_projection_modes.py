@@ -1,0 +1,65 @@
+"""Projection-mode ablation: parallel vs partition-based (Section 3.3).
+
+The paper weighs two ways to spill projections to disk and adopts the
+parallel scheme for speed; the partition scheme "saves disk space" but
+"is not efficient". This benchmark measures both claims on the Connect-4
+stand-in under a tight memory budget: CPU + simulated-transfer time, total
+bytes moved, and peak disk residency.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_and_report
+
+from repro.bench.workloads import prepare_workload
+from repro.storage.disk import SimulatedDisk
+from repro.storage.memory import estimate_transactions_bytes
+from repro.storage.projection import mine_hmine_with_memory_budget
+
+
+def _rows():
+    workload = prepare_workload("connect4")
+    db = workload.db
+    full_bytes = estimate_transactions_bytes(list(db.transactions), db.item_count())
+    budget = max(1, int(full_bytes * 0.10))
+    rows: list[list[object]] = []
+    reference = None
+    for relative in workload.spec.xi_new_sweep[:3]:
+        absolute = workload.absolute_support(relative)
+        for mode in ("parallel", "partition"):
+            disk = SimulatedDisk()
+            started = time.perf_counter()
+            patterns = mine_hmine_with_memory_budget(
+                db, absolute, budget, disk=disk, mode=mode
+            )
+            cpu = time.perf_counter() - started
+            if reference is None or reference[0] != relative:
+                reference = (relative, patterns)
+            else:
+                assert patterns == reference[1], f"mode {mode} diverged at {relative}"
+            rows.append(
+                [
+                    relative,
+                    mode,
+                    cpu + disk.simulated_seconds,
+                    (disk.total_bytes_read + disk.total_bytes_written) / 2**20,
+                    disk.peak_stored_bytes / 2**20,
+                    len(patterns),
+                ]
+            )
+    headers = ["xi_new", "mode", "time_s", "io_mb", "peak_disk_mb", "patterns"]
+    return headers, rows
+
+
+def test_projection_modes(benchmark):
+    headers, rows = run_and_report(
+        benchmark, "Projection modes — parallel vs partition (connect4)", _rows
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    for relative in {row[0] for row in rows}:
+        parallel = by_key[(relative, "parallel")]
+        partition = by_key[(relative, "partition")]
+        # The paper's trade-off: partition-based needs less peak disk.
+        assert partition[4] <= parallel[4], f"peak disk claim failed at {relative}"

@@ -1,0 +1,35 @@
+"""Table 3: dataset properties and compression statistics.
+
+Regenerates, for each of the four datasets at its ``xi_old``: the number
+of recycled patterns and their maximal length, the compression run time
+(pipeline and modelled-I/O variants) and the compression ratio under MCP
+and MLP.
+
+Expected shape (paper Section 5.1): compression time is small relative
+to mining time; MLP's ratio <= MCP's (MLP compresses smaller) while MCP
+wins the actual mining (Figures 9-20).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.bench.experiments import table3
+
+
+def test_table3_compression_statistics(benchmark):
+    headers, rows = run_and_report(
+        benchmark, "Table 3 — datasets and compression statistics", table3
+    )
+    by_dataset: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_dataset.setdefault(str(row[0]), {})[str(row[7])] = float(row[10])
+    for dataset, ratios in by_dataset.items():
+        # Both strategies must actually compress.
+        assert ratios["MCP"] < 1.0, f"{dataset}: MCP did not compress"
+        assert ratios["MLP"] < 1.0, f"{dataset}: MLP did not compress"
+        # MLP optimizes storage, so it never compresses worse than MCP
+        # beyond a small tolerance (ties are common on dense data).
+        assert ratios["MLP"] <= ratios["MCP"] + 0.05, (
+            f"{dataset}: MLP ratio {ratios['MLP']} worse than MCP {ratios['MCP']}"
+        )

@@ -1,0 +1,22 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one paper artifact (table or figure family)
+exactly once per run — these are end-to-end experiment sweeps, not
+micro-benchmarks, so they use ``benchmark.pedantic(rounds=1)`` and print
+the paper-style table (visible with ``-s``). Micro-benchmarks with
+statistical repetition live in ``bench_miners_micro.py``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_report
+
+
+def run_and_report(benchmark, title: str, experiment, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        lambda: experiment(*args, **kwargs), rounds=1, iterations=1
+    )
+    headers, rows = result
+    print(render_report(title, headers, rows))
+    return headers, rows

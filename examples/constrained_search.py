@@ -1,0 +1,83 @@
+"""Constraint pushing vs post-filtering.
+
+For one-shot constrained queries, anti-monotone and succinct constraints
+can be pushed *into* the miner (pruning whole subtrees) instead of
+filtering afterwards. This example mines "cheap bundles" from a catalog
+two ways and compares both the answers (identical) and the work
+(pushing touches far fewer item occurrences).
+
+Run:  python examples/constrained_search.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import (
+    AggregateConstraint,
+    ConstraintContext,
+    ConstraintSet,
+    CostCounters,
+    ItemTable,
+    MinSupport,
+    QuestParams,
+    mine_constrained,
+    mine_hmine,
+    quest_database,
+)
+
+
+def main() -> None:
+    params = QuestParams(
+        n_transactions=2000, n_items=150, avg_transaction_length=9,
+        n_patterns=45, avg_pattern_length=4,
+    )
+    db = quest_database(params, seed=8)
+    rng = random.Random(8)
+    catalog = ItemTable()
+    for item_id in range(params.n_items):
+        catalog.add(item_id, f"sku-{item_id:03d}",
+                    price=round(rng.lognormvariate(1.6, 0.9), 2))
+    context = ConstraintContext(db_size=len(db), item_table=catalog)
+
+    constraints = ConstraintSet.of(
+        MinSupport(0.01),
+        AggregateConstraint("max", "price", "<=", 4.0),   # succinct+anti-monotone
+        AggregateConstraint("sum", "price", "<=", 10.0),  # anti-monotone
+    )
+    xi = constraints.absolute_support(len(db))
+    cheap_items = sum(
+        1 for item in catalog if item.attributes["price"] <= 4.0
+    )
+    print(f"dataset: {len(db)} baskets, {params.n_items} items "
+          f"({cheap_items} priced <= $4)\n")
+
+    # Way 1: mine everything, filter afterwards.
+    post_counters = CostCounters()
+    started = time.perf_counter()
+    everything = mine_hmine(db, xi, post_counters)
+    filtered = constraints.filter_patterns(everything, context)
+    post_seconds = time.perf_counter() - started
+
+    # Way 2: push the constraints into the search.
+    push_counters = CostCounters()
+    started = time.perf_counter()
+    pushed = mine_constrained(db, constraints, context, push_counters)
+    push_seconds = time.perf_counter() - started
+
+    assert pushed == filtered, "pushing must never change the answer"
+
+    print(f"{'approach':<22} {'patterns':>9} {'seconds':>8} {'item visits':>12}")
+    print(f"{'mine-then-filter':<22} {len(filtered):>9} {post_seconds:>8.3f} "
+          f"{post_counters.item_visits:>12,}")
+    print(f"{'pushed constraints':<22} {len(pushed):>9} {push_seconds:>8.3f} "
+          f"{push_counters.item_visits:>12,}")
+    saved = 1 - push_counters.item_visits / max(1, post_counters.item_visits)
+    print(f"\nidentical answers; pushing visited {saved:.0%} fewer item "
+          f"occurrences by never entering subtrees that violate the "
+          f"price constraints.")
+
+
+if __name__ == "__main__":
+    main()

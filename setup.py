@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments that lack the ``wheel`` package (the PEP 660 editable path
+needs it; the legacy ``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

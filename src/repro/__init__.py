@@ -1,0 +1,163 @@
+"""repro — reproduction of "Go Green: Recycle and Reuse Frequent Patterns"
+(Cong, Ooi, Tan & Tung, ICDE 2004).
+
+The library implements the paper's two-phase pattern-recycling pipeline
+(compress a database with previously mined frequent patterns, then mine
+the compressed database) together with every substrate it depends on:
+baseline miners (Apriori, Eclat, H-Mine, FP-growth, Tree Projection), a
+constraint framework, synthetic dataset generators, a simulated disk for
+memory-limited mining, and a benchmark harness regenerating the paper's
+tables and figures.
+
+Quickstart::
+
+    from repro import weather_like, mine_hmine, recycle_mine
+
+    db = weather_like()
+    old = mine_hmine(db, min_support=200)          # xi_old
+    new = recycle_mine(db, old, min_support=80)    # xi_new, recycled
+"""
+
+from repro.constraints import (
+    AggregateConstraint,
+    ConstraintContext,
+    ConstraintSet,
+    ItemsRequired,
+    ItemsWithin,
+    MaxLength,
+    MaxSupport,
+    MinLength,
+    MinSupport,
+    mine_constrained,
+)
+from repro.core import (
+    CompressedDatabase,
+    CompressionResult,
+    MiningSession,
+    compress,
+    filter_min_support,
+    fup_update,
+    incremental_mine,
+    mine_recycle_eclat,
+    mine_recycle_fptree,
+    mine_recycle_hmine,
+    mine_recycle_treeprojection,
+    mine_rp,
+    recycle_mine,
+    recycle_mine_detailed,
+)
+from repro.rules import AssociationRule, filter_rules, generate_rules
+from repro.data import (
+    DATASETS,
+    Item,
+    ItemTable,
+    QuestParams,
+    TransactionDatabase,
+    connect4_like,
+    forest_like,
+    get_dataset,
+    pumsb_like,
+    quest_database,
+    random_database,
+    read_patterns,
+    read_transactions,
+    weather_like,
+    write_patterns,
+    write_transactions,
+)
+from repro.errors import (
+    BenchmarkError,
+    CompressionError,
+    ConstraintError,
+    DataError,
+    MiningError,
+    RecycleError,
+    ReproError,
+    StorageError,
+)
+from repro.metrics import CostCounters
+from repro.mining import (
+    FList,
+    PatternSet,
+    mine_apriori,
+    mine_eclat,
+    mine_fpgrowth,
+    mine_hmine,
+    mine_top_k,
+    mine_treeprojection,
+)
+from repro.storage import (
+    SimulatedDisk,
+    megabytes,
+    mine_hmine_with_memory_budget,
+    mine_rp_with_memory_budget,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateConstraint",
+    "BenchmarkError",
+    "CompressedDatabase",
+    "CompressionError",
+    "CompressionResult",
+    "ConstraintContext",
+    "ConstraintError",
+    "ConstraintSet",
+    "AssociationRule",
+    "CostCounters",
+    "DATASETS",
+    "DataError",
+    "FList",
+    "Item",
+    "ItemTable",
+    "ItemsRequired",
+    "ItemsWithin",
+    "MaxLength",
+    "MaxSupport",
+    "MinLength",
+    "MinSupport",
+    "MiningError",
+    "MiningSession",
+    "PatternSet",
+    "QuestParams",
+    "RecycleError",
+    "ReproError",
+    "SimulatedDisk",
+    "StorageError",
+    "TransactionDatabase",
+    "compress",
+    "connect4_like",
+    "filter_min_support",
+    "filter_rules",
+    "forest_like",
+    "fup_update",
+    "generate_rules",
+    "get_dataset",
+    "incremental_mine",
+    "megabytes",
+    "mine_apriori",
+    "mine_constrained",
+    "mine_eclat",
+    "mine_fpgrowth",
+    "mine_hmine",
+    "mine_hmine_with_memory_budget",
+    "mine_recycle_eclat",
+    "mine_recycle_fptree",
+    "mine_recycle_hmine",
+    "mine_recycle_treeprojection",
+    "mine_rp",
+    "mine_rp_with_memory_budget",
+    "mine_top_k",
+    "mine_treeprojection",
+    "pumsb_like",
+    "quest_database",
+    "random_database",
+    "read_patterns",
+    "read_transactions",
+    "recycle_mine",
+    "recycle_mine_detailed",
+    "weather_like",
+    "write_patterns",
+    "write_transactions",
+]

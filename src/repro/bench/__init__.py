@@ -1,0 +1,44 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from repro.bench.experiments import (
+    FIGURES,
+    MEMORY_FIGURES,
+    ablation_single_group_shortcut,
+    ablation_strategies,
+    figure,
+    figure_series,
+    memory_limited_figure,
+    observations,
+    run_experiment,
+    table3,
+    two_step_cold_start,
+)
+from repro.bench.plotting import chart_from_figure_rows, render_chart
+from repro.bench.report import format_table, render_report
+from repro.bench.runner import MiningRun, run_baseline, run_recycling, speedup, timed
+from repro.bench.workloads import Workload, prepare_workload
+
+__all__ = [
+    "FIGURES",
+    "MEMORY_FIGURES",
+    "MiningRun",
+    "Workload",
+    "ablation_single_group_shortcut",
+    "ablation_strategies",
+    "chart_from_figure_rows",
+    "figure",
+    "figure_series",
+    "format_table",
+    "memory_limited_figure",
+    "observations",
+    "prepare_workload",
+    "render_chart",
+    "render_report",
+    "run_baseline",
+    "run_experiment",
+    "run_recycling",
+    "speedup",
+    "table3",
+    "timed",
+    "two_step_cold_start",
+]

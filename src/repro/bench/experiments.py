@@ -1,0 +1,452 @@
+"""Experiment generators: one function per paper table / figure group.
+
+Each function returns ``(headers, rows)`` ready for
+:func:`repro.bench.report.render_report`; the benchmark modules under
+``benchmarks/`` call these and print the result. The mapping from paper
+artifact to function lives in :data:`FIGURES` and is mirrored in
+DESIGN.md's experiment index.
+
+All experiments verify the correctness invariant as they run: every
+recycling variant must produce exactly the baseline's pattern set. A
+benchmark that produced wrong patterns would be meaningless, so a
+mismatch raises immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.bench.runner import MiningRun, run_baseline, run_recycling, speedup, timed
+from repro.bench.workloads import prepare_workload
+from repro.core.naive import mine_rp
+from repro.core.utility import STRATEGIES
+from repro.core.compression import compress
+from repro.errors import BenchmarkError
+from repro.storage.disk import DiskModel, SimulatedDisk, transactions_byte_size
+from repro.storage.memory import estimate_transactions_bytes
+from repro.storage.projection import (
+    mine_hmine_with_memory_budget,
+    mine_rp_with_memory_budget,
+)
+
+#: Paper figure number -> (dataset, base algorithm). Figures 21-24 are the
+#: memory-limited family, handled by :func:`memory_limited_figure`.
+FIGURES: dict[int, tuple[str, str]] = {
+    9: ("weather", "hmine"),
+    10: ("weather", "fpgrowth"),
+    11: ("weather", "treeprojection"),
+    12: ("forest", "hmine"),
+    13: ("forest", "fpgrowth"),
+    14: ("forest", "treeprojection"),
+    15: ("connect4", "hmine"),
+    16: ("connect4", "fpgrowth"),
+    17: ("connect4", "treeprojection"),
+    18: ("pumsb", "hmine"),
+    19: ("pumsb", "fpgrowth"),
+    20: ("pumsb", "treeprojection"),
+}
+
+MEMORY_FIGURES: dict[int, str] = {
+    21: "weather",
+    22: "forest",
+    23: "connect4",
+    24: "pumsb",
+}
+
+_ALGORITHM_TAGS = {"hmine": "HM", "fpgrowth": "FP", "treeprojection": "TP"}
+
+
+def _work(run: MiningRun) -> int:
+    """Machine-independent cost: visits + scans + projections plus the
+    algorithm-specific extras (matrix updates, tidset intersections)."""
+    extras = run.counters.as_dict()
+    return (
+        run.counters.total_work()
+        + extras.get("matrix_updates", 0)
+        + extras.get("tidset_intersections", 0)
+    )
+
+
+def _check_same(baseline: MiningRun, candidate: MiningRun, where: str) -> None:
+    if baseline.patterns != candidate.patterns:
+        raise BenchmarkError(
+            f"{where}: {candidate.label} disagreed with {baseline.label} "
+            f"({candidate.pattern_count} vs {baseline.pattern_count} patterns)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 3 — dataset properties and compression statistics
+# ----------------------------------------------------------------------
+def table3(seed: int = 0) -> tuple[list[str], list[list[object]]]:
+    """Dataset properties + per-strategy compression time and ratio.
+
+    "pipeline" time is the pure compression cost (the paper's column that
+    deducts I/O, since compression can ride along with an existing
+    projection pass); "I/O" adds a modelled read of the original database
+    and write of the compressed one.
+    """
+    headers = [
+        "dataset", "tuples", "avg_len", "items", "xi_old",
+        "patterns", "max_len", "strategy",
+        "time_pipeline_s", "time_io_s", "ratio",
+    ]
+    model = DiskModel()
+    rows: list[list[object]] = []
+    for dataset in ("weather", "forest", "connect4", "pumsb"):
+        workload = prepare_workload(dataset, seed)
+        db = workload.db
+        raw_bytes = transactions_byte_size(list(db.transactions))
+        for strategy in ("mcp", "mlp"):
+            compression = workload.compressions[strategy]
+            compressed_bytes = int(raw_bytes * compression.ratio)
+            io_seconds = compression.elapsed_seconds + model.transfer_time(
+                raw_bytes + compressed_bytes, 2
+            )
+            rows.append(
+                [
+                    dataset,
+                    len(db),
+                    round(db.average_length(), 1),
+                    db.item_count(),
+                    workload.spec.xi_old,
+                    len(workload.old_patterns),
+                    workload.old_patterns.max_length(),
+                    strategy.upper(),
+                    compression.elapsed_seconds,
+                    io_seconds,
+                    compression.ratio,
+                ]
+            )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figures 9-20 — runtime vs xi_new, baseline vs MCP/MLP recycling
+# ----------------------------------------------------------------------
+def figure(
+    number: int, seed: int = 0, sweep: Sequence[float] | None = None
+) -> tuple[list[str], list[list[object]]]:
+    """One runtime-vs-support figure: baseline, -MCP and -MLP series."""
+    try:
+        dataset, algorithm = FIGURES[number]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown figure {number} (known: {sorted(FIGURES)} and "
+            f"{sorted(MEMORY_FIGURES)} via memory_limited_figure)"
+        ) from None
+    return figure_series(dataset, algorithm, seed, sweep)
+
+
+def figure_series(
+    dataset: str,
+    algorithm: str,
+    seed: int = 0,
+    sweep: Sequence[float] | None = None,
+) -> tuple[list[str], list[list[object]]]:
+    """The three series of one figure over the dataset's support sweep."""
+    workload = prepare_workload(dataset, seed)
+    tag = _ALGORITHM_TAGS.get(algorithm, algorithm)
+    headers = [
+        "xi_new", "abs_sup", "patterns",
+        f"{tag}_s", f"{tag}-MCP_s", f"{tag}-MLP_s",
+        "speedup_mcp", "speedup_mlp",
+        "work_base", "work_mcp",
+    ]
+    rows: list[list[object]] = []
+    points = sweep if sweep is not None else workload.spec.xi_new_sweep
+    for relative in points:
+        absolute = workload.absolute_support(relative)
+        base = run_baseline(algorithm, workload.db, absolute)
+        mcp = run_recycling(
+            algorithm, workload.compressions["mcp"].compressed, absolute, "mcp"
+        )
+        mlp = run_recycling(
+            algorithm, workload.compressions["mlp"].compressed, absolute, "mlp"
+        )
+        _check_same(base, mcp, f"figure {dataset}/{algorithm} xi={relative}")
+        _check_same(base, mlp, f"figure {dataset}/{algorithm} xi={relative}")
+        rows.append(
+            [
+                relative,
+                absolute,
+                base.pattern_count,
+                base.seconds,
+                mcp.seconds,
+                mlp.seconds,
+                speedup(base, mcp),
+                speedup(base, mlp),
+                _work(base),
+                _work(mcp),
+            ]
+        )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figures 21-24 — memory-limited H-Mine vs HM-MCP
+# ----------------------------------------------------------------------
+def memory_limited_figure(
+    number_or_dataset: int | str,
+    seed: int = 0,
+    budget_fractions: Sequence[float] = (0.15, 0.30),
+    sweep: Sequence[float] | None = None,
+) -> tuple[list[str], list[list[object]]]:
+    """H-Mine vs HM-MCP under memory budgets, with simulated I/O.
+
+    The paper fixes 4 MB / 8 MB on datasets of tens of MB; our stand-ins
+    are ~100x smaller, so budgets are expressed as fractions of the full
+    H-struct footprint (defaults chosen to match the paper's ~10-25%
+    regime). Reported times add the simulated disk model's transfer time
+    to the measured CPU time, mirroring how the paper's wall-clock
+    includes real I/O.
+    """
+    if isinstance(number_or_dataset, int):
+        try:
+            dataset = MEMORY_FIGURES[number_or_dataset]
+        except KeyError:
+            raise BenchmarkError(
+                f"unknown memory figure {number_or_dataset} "
+                f"(known: {sorted(MEMORY_FIGURES)})"
+            ) from None
+    else:
+        dataset = number_or_dataset
+    workload = prepare_workload(dataset, seed)
+    db = workload.db
+    full_bytes = estimate_transactions_bytes(list(db.transactions), db.item_count())
+    headers = [
+        "xi_new", "budget_bytes",
+        "HM_s", "HM_io_mb", "HM-MCP_s", "HM-MCP_io_mb",
+        "speedup", "patterns",
+    ]
+    rows: list[list[object]] = []
+    points = sweep if sweep is not None else workload.spec.xi_new_sweep
+    for fraction in budget_fractions:
+        budget = max(1, int(full_bytes * fraction))
+        for relative in points:
+            absolute = workload.absolute_support(relative)
+            base_disk = SimulatedDisk(counters=None)
+            base = timed(
+                "hmine-budget",
+                lambda counters: mine_hmine_with_memory_budget(
+                    db, absolute, budget, disk=base_disk, counters=counters
+                ),
+            )
+            rp_disk = SimulatedDisk(counters=None)
+            mcp = timed(
+                "hm-mcp-budget",
+                lambda counters: mine_rp_with_memory_budget(
+                    workload.compressions["mcp"].compressed,
+                    absolute,
+                    budget,
+                    disk=rp_disk,
+                    counters=counters,
+                ),
+            )
+            _check_same(base, mcp, f"memory figure {dataset} xi={relative}")
+            base_total = base.seconds + base_disk.simulated_seconds
+            mcp_total = mcp.seconds + rp_disk.simulated_seconds
+            rows.append(
+                [
+                    relative,
+                    budget,
+                    base_total,
+                    (base_disk.total_bytes_read + base_disk.total_bytes_written) / 2**20,
+                    mcp_total,
+                    (rp_disk.total_bytes_read + rp_disk.total_bytes_written) / 2**20,
+                    base_total / mcp_total if mcp_total > 0 else float("inf"),
+                    base.pattern_count,
+                ]
+            )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 observations
+# ----------------------------------------------------------------------
+def observations(seed: int = 0) -> tuple[list[str], list[list[object]]]:
+    """Observation 1: the recycling saving vs the cost of producing it.
+
+    For each dataset, at the lowest sweep support: the time HM-MCP saves
+    over H-Mine, compared against the *entire* investment — mining at
+    xi_old plus MCP compression. The paper's claim is saving >> cost,
+    which justifies even cold-start two-step mining (run high support
+    first, recycle down).
+    """
+    headers = [
+        "dataset", "xi_old_mine_s", "compress_s", "investment_s",
+        "HM_s", "HM-MCP_s", "saving_s", "saving/investment",
+    ]
+    rows: list[list[object]] = []
+    for dataset in ("weather", "forest", "connect4", "pumsb"):
+        workload = prepare_workload(dataset, seed)
+        relative = workload.spec.xi_new_sweep[-1]
+        absolute = workload.absolute_support(relative)
+        base = run_baseline("hmine", workload.db, absolute)
+        mcp = run_recycling(
+            "hmine", workload.compressions["mcp"].compressed, absolute, "mcp"
+        )
+        _check_same(base, mcp, f"observations {dataset}")
+        invest = (
+            workload.old_mining_seconds
+            + workload.compressions["mcp"].elapsed_seconds
+        )
+        saving = base.seconds - mcp.seconds
+        rows.append(
+            [
+                dataset,
+                workload.old_mining_seconds,
+                workload.compressions["mcp"].elapsed_seconds,
+                invest,
+                base.seconds,
+                mcp.seconds,
+                saving,
+                saving / invest if invest > 0 else float("inf"),
+            ]
+        )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Ablations (ours, motivated by DESIGN.md)
+# ----------------------------------------------------------------------
+def ablation_strategies(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """Utility-function ablation: MCP vs MLP vs arrival-order vs random.
+
+    Isolates how much of the recycling win comes from *which* patterns
+    compress the database, holding the mining algorithm (naive RP-Mine)
+    fixed. Run at the middle sweep support.
+    """
+    workload = prepare_workload(dataset, seed)
+    relative = workload.spec.xi_new_sweep[len(workload.spec.xi_new_sweep) // 2]
+    absolute = workload.absolute_support(relative)
+    headers = ["strategy", "ratio", "grouped_tuples", "groups", "mine_s", "patterns"]
+    rows: list[list[object]] = []
+    reference = None
+    for name in STRATEGIES:
+        compression = compress(workload.db, workload.old_patterns, name, seed=seed)
+        run = timed(
+            f"rp-{name}",
+            lambda counters: mine_rp(compression.compressed, absolute, counters),
+        )
+        if reference is None:
+            reference = run
+        else:
+            _check_same(reference, run, f"ablation {dataset}/{name}")
+        rows.append(
+            [
+                name,
+                compression.ratio,
+                compression.compressed.grouped_tuple_count(),
+                len(compression.compressed.groups),
+                run.seconds,
+                run.pattern_count,
+            ]
+        )
+    return headers, rows
+
+
+def ablation_single_group_shortcut(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """Lemma 3.1 ablation: RP-Mine with and without the enumeration.
+
+    Wall-clock differences are small at this scale (the shortcut trades
+    recursive projections for subset enumeration), so the deterministic
+    columns — shortcut firings and projections built — carry the story:
+    disabling the lemma forces strictly more projected databases.
+    """
+    workload = prepare_workload(dataset, seed)
+    headers = [
+        "xi_new", "with_shortcut_s", "without_shortcut_s",
+        "shortcut_fires", "projections_with", "projections_without",
+    ]
+    rows: list[list[object]] = []
+    compressed = workload.compressions["mcp"].compressed
+    for relative in workload.spec.xi_new_sweep:
+        absolute = workload.absolute_support(relative)
+        with_run = timed(
+            "rp-shortcut",
+            lambda counters: mine_rp(compressed, absolute, counters),
+        )
+        without_run = timed(
+            "rp-no-shortcut",
+            lambda counters: mine_rp(
+                compressed, absolute, counters, single_group_shortcut=False
+            ),
+        )
+        _check_same(with_run, without_run, f"shortcut ablation {dataset} xi={relative}")
+        rows.append(
+            [
+                relative,
+                with_run.seconds,
+                without_run.seconds,
+                with_run.counters.single_group_enumerations,
+                with_run.counters.projections,
+                without_run.counters.projections,
+            ]
+        )
+    return headers, rows
+
+
+def two_step_cold_start(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """The paper's Observation-1 proposal, measured end to end.
+
+    Cold-start mining at a low support, two ways: (a) directly with
+    H-Mine; (b) mine at a high support first, compress with MCP, then
+    mine the compressed database — the split the paper suggests
+    exploring. Both totals include every phase."""
+    workload = prepare_workload(dataset, seed)
+    relative = workload.spec.xi_new_sweep[-1]
+    absolute = workload.absolute_support(relative)
+    headers = ["plan", "phase_1_s", "phase_2_s", "phase_3_s", "total_s", "patterns"]
+    direct = run_baseline("hmine", workload.db, absolute)
+
+    started = time.perf_counter()
+    compression = compress(workload.db, workload.old_patterns, "mcp", seed=seed)
+    compress_seconds = time.perf_counter() - started
+    recycled = run_recycling("hmine", compression.compressed, absolute, "mcp")
+    _check_same(direct, recycled, f"two-step {dataset}")
+    rows: list[list[object]] = [
+        ["direct", direct.seconds, 0.0, 0.0, direct.seconds, direct.pattern_count],
+        [
+            "two-step",
+            workload.old_mining_seconds,
+            compress_seconds,
+            recycled.seconds,
+            workload.old_mining_seconds + compress_seconds + recycled.seconds,
+            recycled.pattern_count,
+        ],
+    ]
+    return headers, rows
+
+
+def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[object]]]:
+    """Dispatch an experiment by CLI-friendly name."""
+    if name == "table3":
+        return table3(seed)
+    if name.startswith("fig"):
+        number = int(name[3:])
+        if number in FIGURES:
+            return figure(number, seed)
+        if number in MEMORY_FIGURES:
+            return memory_limited_figure(number, seed)
+        raise BenchmarkError(f"unknown figure {number}")
+    if name == "observations":
+        return observations(seed)
+    if name.startswith("ablation-strategies-"):
+        return ablation_strategies(name.rsplit("-", 1)[1], seed)
+    if name.startswith("ablation-shortcut-"):
+        return ablation_single_group_shortcut(name.rsplit("-", 1)[1], seed)
+    if name.startswith("two-step-"):
+        return two_step_cold_start(name.rsplit("-", 1)[1], seed)
+    raise BenchmarkError(
+        f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
+        "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
+        "two-step-<dataset>"
+    )

@@ -1,0 +1,104 @@
+"""ASCII line charts for experiment series.
+
+The paper's Figures 9–24 are runtime-vs-support line charts; the
+benchmarks print their underlying tables, and this module renders the
+same series as terminal plots so a figure can be eyeballed without
+leaving the shell (``repro plot --figure 15``). Pure text, no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import BenchmarkError
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    log_y: bool = False,
+    y_label: str = "seconds",
+) -> str:
+    """Render named series over shared x positions as an ASCII chart.
+
+    ``x_values`` are plotted in the order given, evenly spaced (support
+    sweeps are ordinal, matching the paper's figures); ``log_y=True``
+    uses a log-scaled y axis like the paper's dense-dataset figures.
+    """
+    if not x_values:
+        raise BenchmarkError("nothing to plot: empty x values")
+    if not series:
+        raise BenchmarkError("nothing to plot: no series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise BenchmarkError(
+                f"series {name!r} has {len(values)} points for {len(x_values)} x values"
+            )
+        if log_y and any(v <= 0 for v in values):
+            raise BenchmarkError(f"series {name!r} has non-positive values on a log axis")
+
+    def transform(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    flat = [transform(v) for values in series.values() for v in values]
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    columns = [
+        int(round(i * (width - 1) / max(1, len(x_values) - 1)))
+        for i in range(len(x_values))
+    ]
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for point, value in enumerate(values):
+            row = height - 1 - int(
+                round((transform(value) - lo) / (hi - lo) * (height - 1))
+            )
+            grid[row][columns[point]] = marker
+
+    def y_tick(row: int) -> str:
+        value = lo + (height - 1 - row) / (height - 1) * (hi - lo)
+        if log_y:
+            value = 10**value
+        return f"{value:8.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_note = f"{y_label}, log scale" if log_y else y_label
+    lines.append(f"({axis_note})")
+    for row in range(height):
+        prefix = y_tick(row) if row % 4 == 0 or row == height - 1 else " " * 8
+        lines.append(f"{prefix} |{''.join(grid[row])}")
+    x_axis = " " * 8 + " +" + "-" * width
+    lines.append(x_axis)
+    labels = " ".join(f"{x:g}" for x in x_values)
+    lines.append(" " * 10 + labels)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def chart_from_figure_rows(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str, log_y: bool
+) -> str:
+    """Build the three-series chart for a Figure 9–20 table."""
+    x_values = [float(row[0]) for row in rows]
+    series = {
+        headers[3]: [float(row[3]) for row in rows],
+        headers[4]: [float(row[4]) for row in rows],
+        headers[5]: [float(row[5]) for row in rows],
+    }
+    return render_chart(x_values, series, title=title, log_y=log_y)

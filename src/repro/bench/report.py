@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment in :mod:`repro.bench.experiments` produces rows; this
+module turns them into the aligned tables the benchmarks print — the
+same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one value: floats get 4 significant-ish decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,d}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """An aligned, pipe-separated text table."""
+    rendered = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_report(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A titled table block."""
+    table = format_table(headers, rows)
+    bar = "=" * max(len(title), 8)
+    return f"\n{title}\n{bar}\n{table}\n"

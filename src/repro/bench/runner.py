@@ -1,0 +1,74 @@
+"""Timed, counted execution of miners for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.compression import CompressedDatabase
+from repro.core.recycle import get_recycling_miner
+from repro.data.transactions import TransactionDatabase
+from repro.errors import BenchmarkError
+from repro.metrics.counters import CostCounters
+from repro.mining import BASELINE_MINERS
+from repro.mining.patterns import PatternSet
+
+
+@dataclass(frozen=True)
+class MiningRun:
+    """One measured mining execution."""
+
+    label: str
+    seconds: float
+    patterns: PatternSet
+    counters: CostCounters
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self.patterns)
+
+
+def timed(label: str, fn: Callable[[CostCounters], PatternSet]) -> MiningRun:
+    """Run ``fn`` once with fresh counters, timing it."""
+    counters = CostCounters()
+    started = time.perf_counter()
+    patterns = fn(counters)
+    elapsed = time.perf_counter() - started
+    return MiningRun(label=label, seconds=elapsed, patterns=patterns, counters=counters)
+
+
+def run_baseline(
+    algorithm: str, db: TransactionDatabase, min_support: int
+) -> MiningRun:
+    """Time a non-recycling miner."""
+    try:
+        miner = BASELINE_MINERS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(BASELINE_MINERS))
+        raise BenchmarkError(f"unknown baseline {algorithm!r} (known: {known})") from None
+    return timed(algorithm, lambda counters: miner(db, min_support, counters))
+
+
+def run_recycling(
+    algorithm: str,
+    compressed: CompressedDatabase,
+    min_support: int,
+    strategy_label: str,
+) -> MiningRun:
+    """Time a recycling miner over an already-compressed database.
+
+    Compression is excluded on purpose: the paper charges it separately
+    (Table 3) because it is shared across the whole sweep and can be
+    pipelined into the previous round's projection.
+    """
+    miner = get_recycling_miner(algorithm)
+    label = f"{algorithm}-{strategy_label}"
+    return timed(label, lambda counters: miner(compressed, min_support, counters))
+
+
+def speedup(baseline: MiningRun, candidate: MiningRun) -> float:
+    """Wall-clock ratio baseline/candidate (>1 means the candidate wins)."""
+    if candidate.seconds <= 0:
+        return float("inf")
+    return baseline.seconds / candidate.seconds

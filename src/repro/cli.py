@@ -1,0 +1,212 @@
+"""Command-line interface: ``repro mine | recycle | compress | bench``.
+
+Examples::
+
+    repro mine --dataset weather --support 0.05
+    repro mine --input data.dat --support 100 --algorithm fpgrowth \
+        --output patterns.txt
+    repro recycle --dataset weather --old-support 0.05 --support 0.02
+    repro compress --dataset connect4 --old-support 0.95 --strategy mlp
+    repro bench --experiment table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import run_experiment
+from repro.bench.report import render_report
+from repro.core.compression import compress
+from repro.core.recycle import recycle_mine_detailed
+from repro.data.datasets import DATASETS, get_dataset
+from repro.data.io import read_patterns, read_transactions, write_patterns
+from repro.data.transactions import TransactionDatabase
+from repro.errors import ReproError
+from repro.metrics.counters import CostCounters
+from repro.mining import BASELINE_MINERS
+
+
+def _load_database(args: argparse.Namespace) -> TransactionDatabase:
+    if args.input:
+        return read_transactions(args.input)
+    if args.dataset:
+        return get_dataset(args.dataset).load(args.seed)
+    raise ReproError("provide either --dataset or --input")
+
+
+def _absolute_support(db: TransactionDatabase, value: float) -> int:
+    return max(1, int(value * len(db))) if value < 1 else int(value)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=sorted(DATASETS), help="built-in synthetic dataset"
+    )
+    parser.add_argument("--input", help="FIMI-format transaction file")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    support = _absolute_support(db, args.support)
+    miner = BASELINE_MINERS[args.algorithm]
+    counters = CostCounters()
+    started = time.perf_counter()
+    patterns = miner(db, support, counters)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.algorithm}: {len(patterns)} patterns (max length "
+        f"{patterns.max_length()}) at support {support} in {elapsed:.2f}s"
+    )
+    if args.output:
+        write_patterns(patterns, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _command_compress(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    old_support = _absolute_support(db, args.old_support)
+    old_patterns = (
+        read_patterns(args.patterns)
+        if args.patterns
+        else BASELINE_MINERS["hmine"](db, old_support)
+    )
+    result = compress(db, old_patterns, args.strategy)
+    compressed = result.compressed
+    print(
+        f"{args.strategy.upper()}: {len(compressed.groups)} groups, "
+        f"{compressed.grouped_tuple_count()}/{compressed.original_tuple_count} "
+        f"tuples grouped, ratio {compressed.compression_ratio():.3f}, "
+        f"{result.elapsed_seconds:.2f}s"
+    )
+    return 0
+
+
+def _command_recycle(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    old_support = _absolute_support(db, args.old_support)
+    support = _absolute_support(db, args.support)
+    old_patterns = (
+        read_patterns(args.patterns)
+        if args.patterns
+        else BASELINE_MINERS["hmine"](db, old_support)
+    )
+    counters = CostCounters()
+    started = time.perf_counter()
+    outcome = recycle_mine_detailed(
+        db, old_patterns, support,
+        algorithm=args.algorithm, strategy=args.strategy, counters=counters,
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.algorithm}-{args.strategy}: {len(outcome.patterns)} patterns at "
+        f"support {support} in {elapsed:.2f}s "
+        f"(compression ratio {outcome.compression.ratio:.3f}, "
+        f"group-count shortcuts {counters.group_counts})"
+    )
+    if args.output:
+        write_patterns(outcome.patterns, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    headers, rows = run_experiment(args.experiment, args.seed)
+    print(render_report(f"experiment: {args.experiment}", headers, rows))
+    return 0
+
+
+def _command_plot(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import FIGURES, figure
+    from repro.bench.plotting import chart_from_figure_rows
+
+    if args.figure not in FIGURES:
+        raise ReproError(
+            f"figure {args.figure} is not plottable (known: {sorted(FIGURES)})"
+        )
+    dataset, algorithm = FIGURES[args.figure]
+    headers, rows = figure(args.figure, args.seed)
+    print(
+        chart_from_figure_rows(
+            headers,
+            rows,
+            title=f"Figure {args.figure} — {dataset} / {algorithm}",
+            log_y=args.log,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recycle and reuse frequent patterns (ICDE 2004 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser("mine", help="mine frequent patterns from scratch")
+    _add_common_arguments(mine)
+    mine.add_argument("--support", type=float, required=True,
+                      help="min support (fraction < 1 or absolute count)")
+    mine.add_argument("--algorithm", default="hmine",
+                      choices=sorted(BASELINE_MINERS))
+    mine.add_argument("--output", help="write patterns to this file")
+    mine.set_defaults(handler=_command_mine)
+
+    comp = commands.add_parser("compress", help="compress a database with patterns")
+    _add_common_arguments(comp)
+    comp.add_argument("--old-support", type=float, required=True,
+                      help="support whose patterns compress the database")
+    comp.add_argument("--patterns", help="pattern file (else mined with H-Mine)")
+    comp.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
+    comp.set_defaults(handler=_command_compress)
+
+    recycle = commands.add_parser("recycle", help="compress + mine (two phases)")
+    _add_common_arguments(recycle)
+    recycle.add_argument("--old-support", type=float, required=True)
+    recycle.add_argument("--support", type=float, required=True,
+                         help="the relaxed (lower) support to mine at")
+    recycle.add_argument("--patterns", help="pattern file (else mined with H-Mine)")
+    recycle.add_argument("--algorithm", default="hmine",
+                         choices=("naive", "hmine", "fpgrowth", "treeprojection"))
+    recycle.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
+    recycle.add_argument("--output", help="write patterns to this file")
+    recycle.set_defaults(handler=_command_recycle)
+
+    bench = commands.add_parser("bench", help="run a paper experiment")
+    bench.add_argument("--experiment", required=True,
+                       help="table3, fig9..fig24, observations, "
+                            "ablation-strategies-<ds>, ablation-shortcut-<ds>, "
+                            "two-step-<ds>")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(handler=_command_bench)
+
+    plot = commands.add_parser(
+        "plot", help="render a figure experiment as an ASCII chart"
+    )
+    plot.add_argument("--figure", type=int, required=True,
+                      help="paper figure number (9-20)")
+    plot.add_argument("--seed", type=int, default=0)
+    plot.add_argument("--log", action="store_true",
+                      help="log-scale y axis (the paper uses it on dense data)")
+    plot.set_defaults(handler=_command_plot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Constraint framework for iterative constrained mining."""
+
+from repro.constraints.aggregate import AggregateConstraint
+from repro.constraints.base import (
+    Category,
+    ChangeKind,
+    Constraint,
+    ConstraintContext,
+)
+from repro.constraints.engine import ConstraintSet
+from repro.constraints.pushing import mine_constrained
+from repro.constraints.support import (
+    ItemsRequired,
+    ItemsWithin,
+    MaxLength,
+    MaxSupport,
+    MinLength,
+    MinSupport,
+)
+
+__all__ = [
+    "AggregateConstraint",
+    "Category",
+    "ChangeKind",
+    "Constraint",
+    "ConstraintContext",
+    "ConstraintSet",
+    "ItemsRequired",
+    "ItemsWithin",
+    "MaxLength",
+    "MaxSupport",
+    "MinLength",
+    "MinSupport",
+    "mine_constrained",
+]

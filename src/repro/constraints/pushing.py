@@ -1,0 +1,154 @@
+"""Pushing constraints into the mining loop (paper §2's [12, 14]).
+
+The constraint framework classifies constraints; this module *uses* the
+classification inside a projected-database miner, the way CAP and
+FIC/convertible mining do:
+
+* **succinct** constraints that are also anti-monotone (``X ⊆ S``,
+  ``max(attr) <= v``, ``min(attr) >= v``) restrict the item universe
+  before mining even starts — items that can never appear in a
+  satisfying pattern are deleted from the F-list;
+* **anti-monotone** constraints prune the search tree: once a prefix
+  violates, no extension is explored;
+* **monotone** constraints are checked once a pattern satisfies them and
+  then never re-checked along that branch (they can only stay true);
+* **convertible** constraints (``avg``) fall back to post-filtering — a
+  prefix-order rewrite is possible but deliberately out of scope, as in
+  the paper, which notes [8]-style approaches break for them anyway.
+
+The miner itself is the queue-based H-Mine engine restricted per prefix,
+so constraint pushing composes with everything else built on F-lists.
+
+Note the interplay with recycling (paper §2): pushed anti-monotone
+constraints shrink the *reported* pattern set, so a session that wants
+to recycle later should mine with support only and push constraints at
+filter time — or keep this module for one-shot constrained queries,
+which is how the examples use it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.constraints.base import Category, Constraint, ConstraintContext
+from repro.constraints.engine import ConstraintSet
+from repro.constraints.support import ItemsWithin
+from repro.constraints.aggregate import AggregateConstraint
+from repro.data.transactions import TransactionDatabase
+from repro.metrics.counters import CostCounters
+from repro.mining.flist import FList
+from repro.mining.patterns import PatternSet
+
+
+def _item_level_survivors(
+    constraint: Constraint, items: set[int], context: ConstraintContext
+) -> set[int] | None:
+    """Items that can appear in some satisfying pattern, or ``None`` when
+    the constraint cannot be evaluated item-wise."""
+    if isinstance(constraint, ItemsWithin):
+        return items & constraint.allowed
+    if isinstance(constraint, AggregateConstraint) and constraint.aggregate in (
+        "max",
+        "min",
+    ):
+        # max <= v / min >= v: an offending item poisons every superset.
+        if (constraint.aggregate, constraint.op) not in (("max", "<="), ("min", ">=")):
+            return None
+        survivors = set()
+        for item in items:
+            row = context.item_table.get(item)
+            if row is None or constraint.attribute not in row.attributes:
+                continue
+            value = row.attributes[constraint.attribute]
+            if constraint.op == "<=" and value <= constraint.value:
+                survivors.add(item)
+            elif constraint.op == ">=" and value >= constraint.value:
+                survivors.add(item)
+        return survivors
+    return None
+
+
+def mine_constrained(
+    db: TransactionDatabase,
+    constraints: ConstraintSet,
+    context: ConstraintContext | None = None,
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """Frequent patterns of ``db`` satisfying ``constraints``, with
+    anti-monotone and succinct constraints pushed into the search.
+
+    Returns exactly ``constraints.filter_patterns(mine(db, xi), ...)``,
+    but without materializing the unconstrained set.
+    """
+    context = context or ConstraintContext(db_size=len(db))
+    min_support = constraints.absolute_support(len(db))
+    others = constraints.others()
+
+    anti_monotone = [c for c in others if c.is_anti_monotone()]
+    monotone = [c for c in others if c.is_monotone() and not c.is_anti_monotone()]
+    residual = [
+        c for c in others if not c.is_anti_monotone() and not c.is_monotone()
+    ]
+
+    # Succinct pre-filtering of the item universe.
+    flist = FList.from_database(db, min_support)
+    universe = set(flist.order)
+    for constraint in anti_monotone:
+        if Category.SUCCINCT in constraint.categories:
+            survivors = _item_level_survivors(constraint, universe, context)
+            if survivors is not None:
+                universe = survivors
+    order = [i for i in flist.order if i in universe]
+    rank = {item: pos for pos, item in enumerate(order)}
+
+    transactions = []
+    for tx in db:
+        live = tuple(sorted((i for i in tx if i in rank), key=rank.__getitem__))
+        if live:
+            transactions.append(live)
+
+    result = PatternSet()
+    stats = {"pruned": 0, "tuple_scans": 0, "item_visits": 0}
+
+    def satisfies_anti_monotone(pattern: frozenset[int]) -> bool:
+        return all(c.satisfied(pattern, 0, context) for c in anti_monotone)
+
+    def emit(pattern: tuple[int, ...], support: int) -> None:
+        key = frozenset(pattern)
+        if all(c.satisfied(key, support, context) for c in monotone) and all(
+            c.satisfied(key, support, context) for c in residual
+        ):
+            result.add(key, support)
+
+    def mine(entries: list[tuple[tuple[int, ...], int]], prefix: tuple[int, ...]) -> None:
+        counts: Counter[int] = Counter()
+        for tx, pos in entries:
+            stats["tuple_scans"] += 1
+            stats["item_visits"] += len(tx) - pos
+            counts.update(tx[pos:])
+        local = [i for i, c in counts.items() if c >= min_support]
+        local.sort(key=rank.__getitem__)
+        for item in local:
+            candidate = prefix + (item,)
+            if not satisfies_anti_monotone(frozenset(candidate)):
+                stats["pruned"] += 1
+                continue
+            emit(candidate, counts[item])
+            sub_entries = []
+            for tx, pos in entries:
+                try:
+                    at = tx.index(item, pos)
+                except ValueError:
+                    continue
+                if at + 1 < len(tx):
+                    sub_entries.append((tx, at + 1))
+            if sub_entries:
+                mine(sub_entries, candidate)
+
+    mine([(tx, 0) for tx in transactions], ())
+    if counters is not None:
+        counters.tuple_scans += stats["tuple_scans"] + len(db)
+        counters.item_visits += stats["item_visits"] + db.total_items()
+        counters.add("constraint_prunes", stats["pruned"])
+        counters.patterns_emitted += len(result)
+    return result

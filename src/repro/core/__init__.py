@@ -1,0 +1,82 @@
+"""The paper's contribution: recycling frequent patterns via compression."""
+
+from repro.core.compression import (
+    CompressedDatabase,
+    CompressionResult,
+    Group,
+    compress,
+)
+from repro.core.filtering import can_filter, filter_min_support, filter_tightened
+from repro.core.incremental import (
+    apply_deletions,
+    apply_insertions,
+    incremental_mine,
+)
+from repro.core.naive import (
+    CGroup,
+    compressed_to_cgroups,
+    database_to_cgroups,
+    mine_rp,
+)
+from repro.core.recycle import (
+    RECYCLING_MINERS,
+    RecycleOutcome,
+    get_recycling_miner,
+    recycle_mine,
+    recycle_mine_detailed,
+)
+from repro.core.fup import fup_update
+from repro.core.recycle_eclat import mine_recycle_eclat
+from repro.core.recycle_fptree import mine_recycle_fptree
+from repro.core.recycle_hmine import mine_recycle_hmine
+from repro.core.recycle_treeprojection import mine_recycle_treeprojection
+from repro.core.session import IterationReport, MiningSession
+from repro.core.utility import (
+    ARRIVAL,
+    MCP,
+    MLP,
+    RANDOM,
+    STRATEGIES,
+    CompressionStrategy,
+    get_strategy,
+    mcp_utility,
+    mlp_utility,
+)
+
+__all__ = [
+    "ARRIVAL",
+    "CGroup",
+    "CompressedDatabase",
+    "CompressionResult",
+    "CompressionStrategy",
+    "Group",
+    "IterationReport",
+    "MCP",
+    "MLP",
+    "MiningSession",
+    "RANDOM",
+    "RECYCLING_MINERS",
+    "RecycleOutcome",
+    "STRATEGIES",
+    "apply_deletions",
+    "apply_insertions",
+    "can_filter",
+    "compress",
+    "compressed_to_cgroups",
+    "database_to_cgroups",
+    "filter_min_support",
+    "filter_tightened",
+    "fup_update",
+    "get_recycling_miner",
+    "get_strategy",
+    "incremental_mine",
+    "mcp_utility",
+    "mine_recycle_eclat",
+    "mine_recycle_fptree",
+    "mine_recycle_hmine",
+    "mine_recycle_treeprojection",
+    "mine_rp",
+    "mlp_utility",
+    "recycle_mine",
+    "recycle_mine_detailed",
+]

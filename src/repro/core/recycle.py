@@ -1,0 +1,97 @@
+"""One-call recycling API: compress with old patterns, mine the result.
+
+This is the paper's two-phase pipeline as a function::
+
+    patterns = recycle_mine(db, old_patterns, new_min_support,
+                            algorithm="hmine", strategy="mcp")
+
+plus the registry of recycling miners the benchmarks sweep over
+(HM-MCP, HM-MLP, FP-MCP, FP-MLP, TP-MCP, TP-MLP and the naive RP-Mine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.compression import CompressedDatabase, CompressionResult, compress
+from repro.core.naive import mine_rp
+from repro.core.recycle_eclat import mine_recycle_eclat
+from repro.core.recycle_fptree import mine_recycle_fptree
+from repro.core.recycle_hmine import mine_recycle_hmine
+from repro.core.recycle_treeprojection import mine_recycle_treeprojection
+from repro.core.utility import CompressionStrategy
+from repro.data.transactions import TransactionDatabase
+from repro.errors import RecycleError
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+
+#: A recycling miner maps (compressed db, min support, counters) -> patterns.
+RecyclingMiner = Callable[[CompressedDatabase, int, CostCounters | None], PatternSet]
+
+RECYCLING_MINERS: dict[str, RecyclingMiner] = {
+    "naive": mine_rp,
+    "hmine": mine_recycle_hmine,
+    "fpgrowth": mine_recycle_fptree,
+    "treeprojection": mine_recycle_treeprojection,
+    # Our extension beyond the paper's three adaptations (see
+    # repro.core.recycle_eclat).
+    "eclat": mine_recycle_eclat,
+}
+
+
+def get_recycling_miner(algorithm: str) -> RecyclingMiner:
+    """Look up a recycling miner by base-algorithm name."""
+    try:
+        return RECYCLING_MINERS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(RECYCLING_MINERS))
+        raise RecycleError(
+            f"unknown recycling algorithm {algorithm!r} (known: {known})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RecycleOutcome:
+    """Everything a recycling run produced, for reporting."""
+
+    patterns: PatternSet
+    compression: CompressionResult
+
+
+def recycle_mine(
+    db: TransactionDatabase,
+    old_patterns: PatternSet,
+    min_support: int,
+    algorithm: str = "hmine",
+    strategy: CompressionStrategy | str = "mcp",
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """Phase 1 + Phase 2: compress ``db`` with ``old_patterns``, then mine.
+
+    ``min_support`` is the relaxed absolute threshold (``xi_new``). The
+    result is exactly the frequent patterns of ``db`` at that threshold —
+    recycling changes the cost, never the answer.
+    """
+    return recycle_mine_detailed(
+        db, old_patterns, min_support, algorithm, strategy, counters
+    ).patterns
+
+
+def recycle_mine_detailed(
+    db: TransactionDatabase,
+    old_patterns: PatternSet,
+    min_support: int,
+    algorithm: str = "hmine",
+    strategy: CompressionStrategy | str = "mcp",
+    counters: CostCounters | None = None,
+) -> RecycleOutcome:
+    """Like :func:`recycle_mine` but also returns compression statistics."""
+    miner = get_recycling_miner(algorithm)
+    if len(old_patterns) == 0:
+        raise RecycleError(
+            "no patterns to recycle — mine with a baseline algorithm instead"
+        )
+    compression = compress(db, old_patterns, strategy, counters)
+    patterns = miner(compression.compressed, min_support, counters)
+    return RecycleOutcome(patterns=patterns, compression=compression)

@@ -1,0 +1,294 @@
+"""Recycle-HM: mining a compressed database by adapting H-Mine (Section 4.1).
+
+The paper's RP-Struct has three parts — group heads (pattern + count +
+tail pointer), group tails (H-Mine style entries with item links), and an
+RP-Header table whose entries carry both an *item-link* (threading tails)
+and a *group-link* (threading whole groups). This module reproduces that
+design with Python-level pointers:
+
+* a :class:`_Record` is a group head: a rank-sorted ``pattern`` tuple, a
+  scan ``cursor`` into it, a tuple ``count``, and its tails as
+  ``(tail_tuple, offset)`` suffix references — never copied, only
+  re-pointed, exactly like H-Mine's hyper-links;
+* per-level *group queues* play the role of group-links: a record sits on
+  the queue of its first locally frequent pattern item (Fill-RPHeader
+  lines 2–4);
+* per-level *item queues* play the role of item-links: a tail is threaded
+  on its first locally frequent item only when that item precedes the
+  record's group-link item (Fill-RPHeader lines 5–7); otherwise the group
+  link covers it.
+
+Processing the header items in F-list order walks each queue, emits the
+pivot's patterns, builds the child record list (the pivot-projected
+database) and re-threads consumed entries to their next item — the
+H-Mine queue discipline extended to group heads.
+
+Item order is the global F-list of the compressed database at ``xi_new``,
+used at every recursion level; locally infrequent items are skipped by
+rank arithmetic rather than physically removed (no copies — the point of
+H-Mine).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.compression import CompressedDatabase
+from repro.core.naive import CGroup, compressed_to_cgroups
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+
+Tail = tuple[tuple[int, ...], int]  # (rank-sorted items, live-suffix offset)
+
+
+class _Record:
+    """A projected group head: pattern suffix + count + tail suffixes."""
+
+    __slots__ = ("pattern", "pstart", "cursor", "count", "tails")
+
+    def __init__(
+        self, pattern: tuple[int, ...], pstart: int, count: int, tails: list[Tail]
+    ) -> None:
+        self.pattern = pattern
+        self.pstart = pstart
+        self.cursor = pstart  # scan position used by in-level re-threading
+        self.count = count
+        self.tails = tails
+
+
+class _RecycleHMEngine:
+    def __init__(self, min_support: int, grank: dict[int, int]) -> None:
+        self.min_support = min_support
+        self.grank = grank
+        self.result = PatternSet()
+        self.stats = {
+            "group_counts": 0,
+            "tuple_scans": 0,
+            "item_visits": 0,
+            "projections": 0,
+            "single_group_enumerations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _first_local(
+        self, items: tuple[int, ...], start: int, local: set[int]
+    ) -> int | None:
+        """Index of the first locally frequent item at/after ``start``."""
+        for pos in range(start, len(items)):
+            if items[pos] in local:
+                return pos
+        return None
+
+    def _advance_past(self, items: tuple[int, ...], start: int, pivot_rank: int) -> int:
+        """First index at/after ``start`` whose item ranks after the pivot."""
+        grank = self.grank
+        pos = start
+        while pos < len(items) and grank[items[pos]] <= pivot_rank:
+            pos += 1
+        return pos
+
+    # ------------------------------------------------------------------
+    # one recursion level = one RP-Header table
+    # ------------------------------------------------------------------
+    def mine(self, records: list[_Record], prefix: tuple[int, ...]) -> None:
+        counts: dict[int, int] = {}
+        # source[i] is the sole record whose *pattern* accounts for every
+        # occurrence of i, or None once tails / other records contribute.
+        source: dict[int, _Record | None] = {}
+        for record in records:
+            if record.pstart < len(record.pattern):
+                self.stats["group_counts"] += 1
+            for item in record.pattern[record.pstart :]:
+                counts[item] = counts.get(item, 0) + record.count
+                if item not in source:
+                    source[item] = record
+                elif source[item] is not record:
+                    source[item] = None
+            for tail, offset in record.tails:
+                self.stats["tuple_scans"] += 1
+                self.stats["item_visits"] += len(tail) - offset
+                for item in tail[offset:]:
+                    counts[item] = counts.get(item, 0) + 1
+                    source[item] = None
+
+        local = [i for i, c in counts.items() if c >= self.min_support]
+        if not local:
+            return
+        local.sort(key=self.grank.__getitem__)
+        local_set = set(local)
+
+        # Single-group shortcut (Recycle-HM line 1 / Lemma 3.1): every
+        # frequent occurrence inside one group's pattern.
+        sole = source[local[0]]
+        if sole is not None and all(source[i] is sole for i in local):
+            self.stats["single_group_enumerations"] += 1
+            for size in range(1, len(local) + 1):
+                for combo in combinations(local, size):
+                    self.result.add(prefix + combo, sole.count)
+            return
+
+        # --- Fill-RPHeader: thread records (group-links) and tails
+        # (item-links) onto this level's header queues.
+        gqueue: dict[int, list[_Record]] = {i: [] for i in local}
+        iqueue: dict[int, list[tuple[_Record, int, int]]] = {i: [] for i in local}
+        for record in records:
+            fp_pos = self._first_local(record.pattern, record.pstart, local_set)
+            fp_rank = (
+                self.grank[record.pattern[fp_pos]] if fp_pos is not None else None
+            )
+            record.cursor = fp_pos if fp_pos is not None else len(record.pattern)
+            if fp_pos is not None:
+                gqueue[record.pattern[fp_pos]].append(record)
+            for tail_index, (tail, offset) in enumerate(record.tails):
+                head_pos = self._first_local(tail, offset, local_set)
+                if head_pos is None:
+                    continue
+                head = tail[head_pos]
+                if fp_rank is None or self.grank[head] < fp_rank:
+                    iqueue[head].append((record, tail_index, head_pos))
+
+        # --- walk the header in F-list order.
+        for item in local:
+            new_prefix = prefix + (item,)
+            self.result.add(new_prefix, counts[item])
+            pivot_rank = self.grank[item]
+            children: list[_Record] = []
+
+            # Group-link queue: the pivot is these records' first pattern
+            # item, so every member tuple joins the projection.
+            for record in gqueue[item]:
+                child_pstart = self._advance_past(
+                    record.pattern, record.cursor, pivot_rank
+                )
+                child_tails: list[Tail] = []
+                for tail, offset in record.tails:
+                    self.stats["tuple_scans"] += 1
+                    advanced = self._advance_past(tail, offset, pivot_rank)
+                    if advanced < len(tail):
+                        child_tails.append((tail, advanced))
+                if child_pstart < len(record.pattern) or child_tails:
+                    children.append(
+                        _Record(record.pattern, child_pstart, record.count, child_tails)
+                    )
+                # Re-thread the record to its next frequent pattern item
+                # and re-evaluate which tails need item-links below it.
+                next_pos = self._first_local(record.pattern, child_pstart, local_set)
+                record.cursor = (
+                    next_pos if next_pos is not None else len(record.pattern)
+                )
+                next_rank = (
+                    self.grank[record.pattern[next_pos]]
+                    if next_pos is not None
+                    else None
+                )
+                if next_pos is not None:
+                    gqueue[record.pattern[next_pos]].append(record)
+                for tail_index, (tail, offset) in enumerate(record.tails):
+                    head_pos = self._first_local(
+                        tail, self._advance_past(tail, offset, pivot_rank), local_set
+                    )
+                    if head_pos is None:
+                        continue
+                    head = tail[head_pos]
+                    if next_rank is None or self.grank[head] < next_rank:
+                        iqueue[head].append((record, tail_index, head_pos))
+
+            # Item-link queue: only the threaded tails contain the pivot.
+            by_record: dict[int, tuple[_Record, list[tuple[int, int]]]] = {}
+            for record, tail_index, head_pos in iqueue[item]:
+                slot = by_record.setdefault(id(record), (record, []))
+                slot[1].append((tail_index, head_pos))
+            for record, hits in by_record.values():
+                child_pstart = self._advance_past(
+                    record.pattern, record.pstart, pivot_rank
+                )
+                child_tails = []
+                for tail_index, head_pos in hits:
+                    tail, _offset = record.tails[tail_index]
+                    if head_pos + 1 < len(tail):
+                        child_tails.append((tail, head_pos + 1))
+                if child_pstart < len(record.pattern) or child_tails:
+                    children.append(
+                        _Record(record.pattern, child_pstart, len(hits), child_tails)
+                    )
+                # Re-thread each consumed tail to its next frequent item,
+                # but only while that item precedes the group-link item.
+                fp_rank = (
+                    self.grank[record.pattern[record.cursor]]
+                    if record.cursor < len(record.pattern)
+                    else None
+                )
+                for tail_index, head_pos in hits:
+                    tail, _offset = record.tails[tail_index]
+                    next_head = self._first_local(tail, head_pos + 1, local_set)
+                    if next_head is None:
+                        continue
+                    head = tail[next_head]
+                    if fp_rank is None or self.grank[head] < fp_rank:
+                        iqueue[head].append((record, tail_index, next_head))
+
+            if children:
+                self.stats["projections"] += 1
+                self.mine(children, new_prefix)
+
+
+def cgroups_to_records(groups: list[CGroup], grank: dict[int, int]) -> list[_Record]:
+    """Build root-level records: rank-sort patterns/tails, drop infrequent."""
+    records: list[_Record] = []
+    for group in groups:
+        pattern = tuple(
+            sorted((i for i in group.pattern if i in grank), key=grank.__getitem__)
+        )
+        tails: list[Tail] = []
+        for tail in group.tails:
+            filtered = tuple(
+                sorted((i for i in tail if i in grank), key=grank.__getitem__)
+            )
+            if filtered:
+                tails.append((filtered, 0))
+        if pattern or tails:
+            records.append(_Record(pattern, 0, group.count, tails))
+    return records
+
+
+def mine_recycle_hmine(
+    compressed: CompressedDatabase | list[CGroup],
+    min_support: int,
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """All patterns with support >= ``min_support`` via Recycle-HM."""
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if isinstance(compressed, CompressedDatabase):
+        groups = compressed_to_cgroups(compressed)
+    else:
+        groups = list(compressed)
+
+    # Global F-list over the compressed database (one cheap scan that
+    # itself benefits from group counts, as Example 1 points out).
+    counts: dict[int, int] = {}
+    for group in groups:
+        for item in group.pattern:
+            counts[item] = counts.get(item, 0) + group.count
+        for tail in group.tails:
+            for item in tail:
+                counts[item] = counts.get(item, 0) + 1
+    frequent = sorted(
+        (i for i, c in counts.items() if c >= min_support),
+        key=lambda i: (counts[i], i),
+    )
+    grank = {item: pos for pos, item in enumerate(frequent)}
+
+    engine = _RecycleHMEngine(min_support, grank)
+    engine.mine(cgroups_to_records(groups, grank), ())
+    if counters is not None:
+        counters.group_counts += engine.stats["group_counts"]
+        counters.tuple_scans += engine.stats["tuple_scans"]
+        counters.item_visits += engine.stats["item_visits"]
+        counters.projections += engine.stats["projections"]
+        counters.single_group_enumerations += engine.stats["single_group_enumerations"]
+        counters.patterns_emitted += len(engine.result)
+    return engine.result

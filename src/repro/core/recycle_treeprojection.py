@@ -1,0 +1,239 @@
+"""Recycle-TP: mining a compressed database by adapting Tree Projection
+(Section 4.2).
+
+Depth-first Tree Projection projects the (compressed) tuples down a
+lexicographic tree and counts all 2-extensions of a node in one pass with
+a triangular matrix. The adaptation exploits groups in both places:
+
+* **matrix counting** — a pair of items both inside a group's pattern is
+  counted once with the group count instead of once per member tuple;
+  pattern-tail and tail-tail pairs fall back to per-tail counting;
+* **projection** — a group whose pattern contains the extension item
+  moves to the child node wholesale, count intact.
+
+When a node's projected database degenerates to a single group with no
+tails, Lemma 3.1 enumerates the remaining patterns outright and skips
+the matrix entirely.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro.core.compression import CompressedDatabase
+from repro.core.naive import CGroup, compressed_to_cgroups
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+
+
+class _RecycleTPEngine:
+    def __init__(self, min_support: int, grank: dict[int, int]) -> None:
+        self.min_support = min_support
+        self.grank = grank
+        self.result = PatternSet()
+        self.stats = {
+            "group_counts": 0,
+            "tuple_scans": 0,
+            "item_visits": 0,
+            "projections": 0,
+            "single_group_enumerations": 0,
+            "matrix_updates": 0,
+        }
+
+    def mine_node(
+        self,
+        prefix: tuple[int, ...],
+        groups: list[CGroup],
+        extensions: list[int],
+    ) -> None:
+        """Expand lexicographic-tree node ``prefix``.
+
+        ``extensions`` (rank-sorted) are the node's active items, already
+        emitted with their supports by the caller; group patterns and
+        tails are restricted to exactly those items.
+        """
+        if len(extensions) < 2:
+            return
+
+        shortcut = self._single_group(groups, extensions)
+        if shortcut is not None:
+            self.stats["single_group_enumerations"] += 1
+            for size in range(2, len(extensions) + 1):
+                for combo in combinations(extensions, size):
+                    self.result.add(prefix + combo, shortcut.count)
+            return
+
+        pair_counts = self._matrix(groups)
+
+        for e_pos, e in enumerate(extensions):
+            child_extensions = [
+                f
+                for f in extensions[e_pos + 1 :]
+                if pair_counts[(e, f)] >= self.min_support
+            ]
+            if not child_extensions:
+                continue
+            child_prefix = prefix + (e,)
+            for f in child_extensions:
+                self.result.add(child_prefix + (f,), pair_counts[(e, f)])
+            child_groups = self._project(groups, e, set(child_extensions))
+            self.stats["projections"] += 1
+            self.mine_node(child_prefix, child_groups, child_extensions)
+
+    def _single_group(
+        self, groups: list[CGroup], extensions: list[int]
+    ) -> CGroup | None:
+        """Lemma 3.1 test: one group, no tails, pattern covering the node."""
+        if len(groups) != 1:
+            return None
+        group = groups[0]
+        if group.tails or group.count < self.min_support:
+            return None
+        if set(group.pattern) != set(extensions):
+            return None
+        return group
+
+    def _matrix(self, groups: list[CGroup]) -> Counter[tuple[int, int]]:
+        """The node's triangular matrix of 2-extension supports.
+
+        Pattern-pattern pairs charge the group count once; pairs with a
+        tail item are counted per tail. Keys are rank-ordered ``(a, b)``.
+        """
+        grank = self.grank
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        for group in groups:
+            pattern = group.pattern
+            if len(pattern) >= 2:
+                self.stats["group_counts"] += 1
+                count = group.count
+                for a_pos in range(len(pattern) - 1):
+                    a = pattern[a_pos]
+                    for b_pos in range(a_pos + 1, len(pattern)):
+                        pair_counts[(a, pattern[b_pos])] += count
+                self.stats["matrix_updates"] += len(pattern) * (len(pattern) - 1) // 2
+            for tail in group.tails:
+                self.stats["tuple_scans"] += 1
+                self.stats["item_visits"] += len(tail)
+                for t_pos, t in enumerate(tail):
+                    t_rank = grank[t]
+                    for p in pattern:
+                        key = (p, t) if grank[p] < t_rank else (t, p)
+                        pair_counts[key] += 1
+                    for u in tail[t_pos + 1 :]:
+                        pair_counts[(t, u)] += 1
+                self.stats["matrix_updates"] += (
+                    len(tail) * len(pattern) + len(tail) * (len(tail) - 1) // 2
+                )
+        return pair_counts
+
+    def _project(
+        self, groups: list[CGroup], item: int, keep: set[int]
+    ) -> list[CGroup]:
+        """Project groups onto ``item``, restricted to ``keep`` items."""
+        grank = self.grank
+        merged: dict[tuple[int, ...], list] = {}
+        for group in groups:
+            if item in group.pattern:
+                self.stats["group_counts"] += 1
+                new_pattern = tuple(i for i in group.pattern if i in keep)
+                new_tails = []
+                for tail in group.tails:
+                    self.stats["tuple_scans"] += 1
+                    filtered = tuple(i for i in tail if i in keep)
+                    if filtered:
+                        new_tails.append(filtered)
+                if not new_pattern and not new_tails:
+                    continue
+                slot = merged.setdefault(new_pattern, [0, []])
+                slot[0] += group.count
+                slot[1].extend(new_tails)
+            else:
+                pivot_rank = grank[item]
+                kept_pattern: tuple[int, ...] | None = None
+                for tail in group.tails:
+                    self.stats["tuple_scans"] += 1
+                    if item not in tail:
+                        continue
+                    if kept_pattern is None:
+                        kept_pattern = tuple(
+                            i for i in group.pattern if i in keep and grank[i] > pivot_rank
+                        )
+                    filtered_tail = tuple(
+                        i for i in tail if i in keep and grank[i] > pivot_rank
+                    )
+                    if not kept_pattern and not filtered_tail:
+                        continue
+                    slot = merged.setdefault(kept_pattern, [0, []])
+                    slot[0] += 1
+                    if filtered_tail:
+                        slot[1].append(filtered_tail)
+        return [
+            CGroup(pattern, count, tuple(tails))
+            for pattern, (count, tails) in merged.items()
+        ]
+
+
+def mine_recycle_treeprojection(
+    compressed: CompressedDatabase | list[CGroup],
+    min_support: int,
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """All patterns with support >= ``min_support`` via Recycle-TP."""
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if isinstance(compressed, CompressedDatabase):
+        groups = compressed_to_cgroups(compressed)
+    else:
+        groups = list(compressed)
+
+    counts: dict[int, int] = {}
+    for group in groups:
+        for item in group.pattern:
+            counts[item] = counts.get(item, 0) + group.count
+        for tail in group.tails:
+            for item in tail:
+                counts[item] = counts.get(item, 0) + 1
+    frequent = sorted(
+        (i for i, c in counts.items() if c >= min_support),
+        key=lambda i: (counts[i], i),
+    )
+    grank = {item: pos for pos, item in enumerate(frequent)}
+    engine = _RecycleTPEngine(min_support, grank)
+    for item in frequent:
+        engine.result.add((item,), counts[item])
+
+    # Root projection: restrict everything to frequent items, rank order.
+    normalized: dict[tuple[int, ...], list] = {}
+    for group in groups:
+        pattern = tuple(
+            sorted((i for i in group.pattern if i in grank), key=grank.__getitem__)
+        )
+        tails = []
+        for tail in group.tails:
+            filtered = tuple(
+                sorted((i for i in tail if i in grank), key=grank.__getitem__)
+            )
+            if filtered:
+                tails.append(filtered)
+        if not pattern and not tails:
+            continue
+        slot = normalized.setdefault(pattern, [0, []])
+        slot[0] += group.count
+        slot[1].extend(tails)
+    root_groups = [
+        CGroup(pattern, count, tuple(tails))
+        for pattern, (count, tails) in normalized.items()
+    ]
+    engine.mine_node((), root_groups, frequent)
+
+    if counters is not None:
+        counters.group_counts += engine.stats["group_counts"]
+        counters.tuple_scans += engine.stats["tuple_scans"]
+        counters.item_visits += engine.stats["item_visits"]
+        counters.projections += engine.stats["projections"]
+        counters.single_group_enumerations += engine.stats["single_group_enumerations"]
+        counters.add("matrix_updates", engine.stats["matrix_updates"])
+        counters.patterns_emitted += len(engine.result)
+    return engine.result

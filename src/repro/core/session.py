@@ -1,0 +1,228 @@
+"""Interactive iterative mining sessions.
+
+The paper's motivating scenario (Section 1): a user mines, inspects,
+refines the constraints and mines again — and existing systems restart
+from scratch each time. :class:`MiningSession` is that loop with
+recycling built in. Each :meth:`mine` call classifies the constraint
+change against the previous iteration and picks the cheapest sound path:
+
+* **same / tightened** — filter the cached patterns (no mining);
+* **relaxed** — compress the database with the cached patterns and run a
+  recycling miner;
+* **incomparable** (mixed changes) — recycle at the new support, then
+  filter by the remaining constraints.
+
+The session also keeps the *unconstrained-at-support* pattern set cached
+so that non-support constraints never poison future recycling, and a per
+iteration :class:`IterationReport` history so experiments (and users) can
+see what each path cost. Pattern sets can be exported/imported, which is
+how one user's mining output becomes another user's recycling input on a
+multi-user platform (Section 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.constraints.base import ChangeKind, ConstraintContext
+from repro.constraints.engine import ConstraintSet
+from repro.core.recycle import recycle_mine_detailed
+from repro.data.items import ItemTable
+from repro.data.transactions import TransactionDatabase
+from repro.errors import RecycleError
+from repro.metrics.counters import CostCounters
+from repro.mining import BASELINE_MINERS
+from repro.mining.patterns import PatternSet
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """What one :meth:`MiningSession.mine` call did and what it cost."""
+
+    index: int
+    path: str  # "initial" | "filter" | "recycle"
+    change: ChangeKind | None
+    absolute_support: int
+    pattern_count: int
+    elapsed_seconds: float
+    counters: CostCounters
+
+
+class MiningSession:
+    """A stateful, recycling-aware mining loop over one database.
+
+    Parameters
+    ----------
+    db:
+        The database under investigation.
+    algorithm:
+        Base mining algorithm, both for the initial run and as the
+        recycling adaptation for later runs ("hmine", "fpgrowth",
+        "treeprojection"; "naive" recycles with RP-Mine but runs the
+        initial iteration with H-Mine).
+    strategy:
+        Compression strategy for the recycling path ("mcp" or "mlp").
+    item_table:
+        Optional item catalog consulted by aggregate constraints.
+    """
+
+    def __init__(
+        self,
+        db: TransactionDatabase,
+        algorithm: str = "hmine",
+        strategy: str = "mcp",
+        item_table: ItemTable | None = None,
+    ) -> None:
+        if algorithm != "naive" and algorithm not in BASELINE_MINERS:
+            known = ", ".join(sorted(BASELINE_MINERS))
+            raise RecycleError(f"unknown algorithm {algorithm!r} (known: {known}, naive)")
+        self.db = db
+        self.algorithm = algorithm
+        self.strategy = strategy
+        self.context = ConstraintContext(
+            db_size=len(db), item_table=item_table or ItemTable()
+        )
+        self.history: list[IterationReport] = []
+        self._constraints: ConstraintSet | None = None
+        # The full frequent-pattern set at the current support threshold,
+        # before non-support constraints — the recycling feedstock.
+        self._support_patterns: PatternSet | None = None
+        self._absolute_support: int | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def mine(self, constraints: ConstraintSet | float) -> PatternSet:
+        """Run one iteration under ``constraints``.
+
+        A bare number is shorthand for a support-only constraint set.
+        Returns the patterns satisfying every constraint; internally
+        caches the support-level pattern set for future recycling.
+        """
+        if not isinstance(constraints, ConstraintSet):
+            constraints = ConstraintSet.min_support(constraints)
+        counters = CostCounters()
+        started = time.perf_counter()
+        new_support = constraints.absolute_support(len(self.db))
+
+        if self._constraints is None or self._support_patterns is None:
+            path, change = "initial", None
+            support_patterns = self._mine_baseline(new_support, counters)
+        else:
+            change = self._constraints.classify_change(constraints)
+            support_relaxed = new_support < (self._absolute_support or 0)
+            if change in (ChangeKind.SAME, ChangeKind.TIGHTENED) and not support_relaxed:
+                path = "filter"
+                support_patterns = self._support_patterns.filter_min_support(new_support)
+            elif len(self._support_patterns) == 0:
+                # Nothing to recycle (the previous threshold admitted no
+                # patterns) — the paper's conservation argument in
+                # reverse: no resources were spent, so nothing can be
+                # salvaged. Mine from scratch.
+                path = "initial"
+                support_patterns = self._mine_baseline(new_support, counters)
+            else:
+                path = "recycle"
+                outcome = recycle_mine_detailed(
+                    self.db,
+                    self._support_patterns,
+                    new_support,
+                    algorithm=self.algorithm,
+                    strategy=self.strategy,
+                    counters=counters,
+                )
+                support_patterns = outcome.patterns
+
+        result = constraints.filter_patterns(support_patterns, self.context)
+        elapsed = time.perf_counter() - started
+
+        self._constraints = constraints
+        self._support_patterns = support_patterns
+        self._absolute_support = new_support
+        self.history.append(
+            IterationReport(
+                index=len(self.history),
+                path=path,
+                change=change,
+                absolute_support=new_support,
+                pattern_count=len(result),
+                elapsed_seconds=elapsed,
+                counters=counters,
+            )
+        )
+        return result
+
+    def seed_patterns(self, patterns: PatternSet, absolute_support: int) -> None:
+        """Adopt another session's (or user's) pattern set for recycling.
+
+        ``absolute_support`` is the threshold those patterns were mined
+        at; the next :meth:`mine` call will filter or recycle from them
+        instead of mining from scratch.
+        """
+        if len(patterns) == 0:
+            raise RecycleError("cannot seed an empty pattern set")
+        self._support_patterns = patterns
+        self._absolute_support = absolute_support
+        self._constraints = ConstraintSet.min_support(absolute_support)
+
+    def exported_patterns(self) -> PatternSet:
+        """The cached support-level pattern set (for another user/session)."""
+        if self._support_patterns is None:
+            raise RecycleError("nothing mined yet — nothing to export")
+        return self._support_patterns
+
+    @property
+    def last_report(self) -> IterationReport:
+        """The most recent iteration's report."""
+        if not self.history:
+            raise RecycleError("no iterations have run yet")
+        return self.history[-1]
+
+    # ------------------------------------------------------------------
+    # persistence (multi-user / cross-process recycling, Section 2)
+    # ------------------------------------------------------------------
+    def save_patterns(self, path: str) -> None:
+        """Persist the recycling feedstock to disk.
+
+        The file is the plain pattern format of :mod:`repro.data.io`
+        with a header comment recording the absolute support, so any
+        session (or any other tool) can pick it up.
+        """
+        from pathlib import Path
+
+        from repro.data.io import write_patterns
+
+        patterns = self.exported_patterns()
+        target = Path(path)
+        write_patterns(patterns, target)
+        existing = target.read_text(encoding="utf-8")
+        target.write_text(
+            f"# absolute_support={self._absolute_support}\n{existing}",
+            encoding="utf-8",
+        )
+
+    def load_patterns(self, path: str) -> None:
+        """Seed this session from a file written by :meth:`save_patterns`."""
+        from pathlib import Path
+
+        from repro.data.io import read_patterns
+
+        target = Path(path)
+        first_line = target.read_text(encoding="utf-8").splitlines()[0]
+        prefix = "# absolute_support="
+        if not first_line.startswith(prefix):
+            raise RecycleError(
+                f"{path} has no absolute_support header — was it written by "
+                "save_patterns()?"
+            )
+        absolute_support = int(first_line[len(prefix):])
+        self.seed_patterns(read_patterns(target), absolute_support)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _mine_baseline(self, min_support: int, counters: CostCounters) -> PatternSet:
+        name = "hmine" if self.algorithm == "naive" else self.algorithm
+        miner = BASELINE_MINERS[name]
+        return miner(self.db, min_support, counters)

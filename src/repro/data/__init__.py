@@ -1,0 +1,46 @@
+"""Transaction data substrate: databases, catalogs, I/O and generators."""
+
+from repro.data.datasets import (
+    DATASETS,
+    DatasetSpec,
+    connect4_like,
+    forest_like,
+    get_dataset,
+    pumsb_like,
+    weather_like,
+)
+from repro.data.io import (
+    read_patterns,
+    read_transactions,
+    write_patterns,
+    write_transactions,
+)
+from repro.data.items import Item, ItemTable
+from repro.data.synthetic import (
+    QuestParams,
+    attribute_value_database,
+    quest_database,
+    random_database,
+)
+from repro.data.transactions import TransactionDatabase
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "Item",
+    "ItemTable",
+    "QuestParams",
+    "TransactionDatabase",
+    "attribute_value_database",
+    "connect4_like",
+    "forest_like",
+    "get_dataset",
+    "pumsb_like",
+    "quest_database",
+    "random_database",
+    "read_patterns",
+    "read_transactions",
+    "weather_like",
+    "write_patterns",
+    "write_transactions",
+]

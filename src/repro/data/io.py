@@ -1,0 +1,108 @@
+"""Reading and writing datasets and pattern sets.
+
+Two on-disk formats are supported:
+
+* **FIMI transaction format** — one transaction per line, space-separated
+  integer item ids. This is the format the FIMI repository distributes
+  Connect-4, Pumsb, etc. in, so real datasets drop straight in when
+  available.
+* **Pattern set format** — one frequent pattern per line as
+  ``item item ... : support``. Persisting pattern sets is what makes
+  recycling work *across* mining sessions and across users (Section 2 of
+  the paper): one user's saved output is another user's recycling input.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.data.transactions import TransactionDatabase
+from repro.errors import DataError
+from repro.mining.patterns import PatternSet
+
+
+def read_transactions(path: str | Path) -> TransactionDatabase:
+    """Load a FIMI-format transaction file into a database.
+
+    Blank lines and ``#`` comment lines are skipped.
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return parse_transactions(handle)
+    except OSError as exc:
+        raise DataError(f"cannot read transaction file {path}: {exc}") from exc
+
+
+def parse_transactions(handle: TextIO) -> TransactionDatabase:
+    """Parse FIMI-format transactions from an open text stream."""
+    transactions: list[list[int]] = []
+    for line_no, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            transactions.append([int(token) for token in stripped.split()])
+        except ValueError as exc:
+            raise DataError(f"line {line_no}: non-integer item in {stripped!r}") from exc
+    return TransactionDatabase(transactions)
+
+
+def write_transactions(db: TransactionDatabase, path: str | Path) -> None:
+    """Write a database in FIMI format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for tx in db:
+            handle.write(" ".join(str(i) for i in tx))
+            handle.write("\n")
+
+
+def transactions_to_string(db: TransactionDatabase) -> str:
+    """Render a database as FIMI text (round-trips via :func:`parse_transactions`)."""
+    buffer = io.StringIO()
+    for tx in db:
+        buffer.write(" ".join(str(i) for i in tx))
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def read_patterns(path: str | Path) -> PatternSet:
+    """Load a pattern set written by :func:`write_patterns`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return parse_patterns(handle)
+    except OSError as exc:
+        raise DataError(f"cannot read pattern file {path}: {exc}") from exc
+
+
+def parse_patterns(handle: TextIO) -> PatternSet:
+    """Parse ``item item ... : support`` lines from an open text stream."""
+    patterns = PatternSet()
+    for line_no, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        head, sep, tail = stripped.rpartition(":")
+        if not sep:
+            raise DataError(f"line {line_no}: missing ': support' in {stripped!r}")
+        try:
+            items = frozenset(int(token) for token in head.split())
+            support = int(tail.strip())
+        except ValueError as exc:
+            raise DataError(f"line {line_no}: malformed pattern {stripped!r}") from exc
+        if not items:
+            raise DataError(f"line {line_no}: empty pattern")
+        patterns.add(items, support)
+    return patterns
+
+
+def write_patterns(patterns: PatternSet, path: str | Path) -> None:
+    """Persist a pattern set, sorted for deterministic output."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for items, support in sorted(patterns.items(), key=lambda kv: (sorted(kv[0]), kv[1])):
+            handle.write(" ".join(str(i) for i in sorted(items)))
+            handle.write(f" : {support}\n")

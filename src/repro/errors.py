@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataError(ReproError):
+    """Raised for malformed transaction data or unreadable dataset files."""
+
+
+class MiningError(ReproError):
+    """Raised when a mining algorithm is invoked with invalid parameters."""
+
+
+class CompressionError(ReproError):
+    """Raised when database compression is given unusable input."""
+
+
+class ConstraintError(ReproError):
+    """Raised for ill-formed constraints or unsupported constraint changes."""
+
+
+class RecycleError(ReproError):
+    """Raised when pattern recycling cannot proceed (e.g. no prior patterns)."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated disk / memory-budget subsystem."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for unknown experiments or workloads."""

@@ -1,0 +1,5 @@
+"""Machine-independent cost accounting for experiments."""
+
+from repro.metrics.counters import CostCounters
+
+__all__ = ["CostCounters"]

@@ -1,0 +1,50 @@
+"""Baseline frequent-pattern miners (the substrate the paper adapts).
+
+All miners share one contract::
+
+    mine_*(db, min_support, counters=None) -> PatternSet
+
+with absolute ``min_support`` (support >= threshold is frequent) and
+optional :class:`~repro.metrics.counters.CostCounters` accounting.
+"""
+
+from repro.mining.apriori import mine_apriori
+from repro.mining.bruteforce import mine_bruteforce
+from repro.mining.eclat import mine_eclat
+from repro.mining.flist import FList, count_supports, project_transactions
+from repro.mining.fptree import FPNode, FPTree, mine_fpgrowth
+from repro.mining.hmine import build_hstruct, mine_hmine, mine_hmine_suffixes
+from repro.mining.patterns import Pattern, PatternSet, pattern
+from repro.mining.topk import mine_top_k, top_k_by_probe
+from repro.mining.treeprojection import mine_treeprojection
+
+#: Non-recycling miners keyed by the names used in benchmark output.
+BASELINE_MINERS = {
+    "apriori": mine_apriori,
+    "eclat": mine_eclat,
+    "hmine": mine_hmine,
+    "fpgrowth": mine_fpgrowth,
+    "treeprojection": mine_treeprojection,
+}
+
+__all__ = [
+    "BASELINE_MINERS",
+    "FList",
+    "FPNode",
+    "FPTree",
+    "Pattern",
+    "PatternSet",
+    "build_hstruct",
+    "count_supports",
+    "mine_apriori",
+    "mine_bruteforce",
+    "mine_eclat",
+    "mine_fpgrowth",
+    "mine_hmine",
+    "mine_hmine_suffixes",
+    "mine_top_k",
+    "mine_treeprojection",
+    "pattern",
+    "top_k_by_probe",
+    "project_transactions",
+]

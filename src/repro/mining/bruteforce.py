@@ -1,0 +1,52 @@
+"""Exhaustive reference miner.
+
+Enumerates every subset of every transaction and counts supports in a
+dictionary. Exponential in transaction length — strictly a test oracle for
+small databases, used to validate every other miner in the suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+
+
+def mine_bruteforce(
+    db: TransactionDatabase,
+    min_support: int,
+    counters: CostCounters | None = None,
+    max_transaction_length: int = 20,
+) -> PatternSet:
+    """All frequent patterns by exhaustive subset enumeration.
+
+    Raises :class:`MiningError` when a transaction is longer than
+    ``max_transaction_length`` — the 2^n blow-up past that point means the
+    caller almost certainly wanted a real miner.
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    supports: dict[frozenset[int], int] = {}
+    scans = 0
+    for tx in db:
+        if len(tx) > max_transaction_length:
+            raise MiningError(
+                f"transaction of length {len(tx)} exceeds brute-force limit "
+                f"{max_transaction_length}"
+            )
+        scans += 1
+        for size in range(1, len(tx) + 1):
+            for combo in combinations(tx, size):
+                key = frozenset(combo)
+                supports[key] = supports.get(key, 0) + 1
+    result = PatternSet()
+    for items, support in supports.items():
+        if support >= min_support:
+            result.add(items, support)
+    if counters is not None:
+        counters.tuple_scans += scans
+        counters.patterns_emitted += len(result)
+    return result

@@ -1,0 +1,201 @@
+"""FP-growth (Han, Pei & Yin, SIGMOD 2000).
+
+Transactions are inserted into a prefix tree (the FP-tree) in
+descending-support order so common prefixes share nodes; a header table
+threads all nodes of an item together. Mining grows patterns from the
+least frequent item upward by building *conditional* FP-trees from each
+item's prefix paths.
+
+The recycling adaptation (Section 4.2 of the paper) reuses this module's
+:class:`FPTree` machinery, inserting each compressed group's head as a
+special item at the top of its branch — see
+:mod:`repro.core.recycle_fptree`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+
+
+class FPNode:
+    """One node of an FP-tree: an item, a count, tree links and the
+    header-table side link."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_node")
+
+    def __init__(self, item: int | None, parent: "FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+        self.next_node: FPNode | None = None
+
+
+class FPTree:
+    """An FP-tree with a header table of side-linked item nodes.
+
+    ``order`` maps item -> sort key; transactions are inserted sorted by
+    ascending ``order`` value, so smaller keys sit nearer the root. The
+    conventional choice (used by :func:`mine_fpgrowth`) is descending
+    support, i.e. key = -support.
+    """
+
+    def __init__(self, order: dict[int, int]) -> None:
+        self.root = FPNode(None, None)
+        self.order = order
+        self.header: dict[int, FPNode] = {}
+        self.node_count = 0
+
+    def insert(self, items: Sequence[int], count: int = 1) -> None:
+        """Insert a transaction (pre-filtered to tree items), ``count`` times."""
+        path = sorted(items, key=lambda i: (self.order[i], i))
+        node = self.root
+        for item in path:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                child.next_node = self.header.get(item)
+                self.header[item] = child
+                self.node_count += 1
+            child.count += count
+            node = child
+
+    def item_nodes(self, item: int) -> Iterable[FPNode]:
+        """All nodes of ``item`` via the header side links."""
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.next_node
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """The conditional pattern base of ``item``.
+
+        Each element is ``(path_items_root_to_parent, count)`` where count
+        is the item node's count.
+        """
+        paths: list[tuple[list[int], int]] = []
+        for node in self.item_nodes(item):
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            path.reverse()
+            paths.append((path, node.count))
+        return paths
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """If the tree is one chain, return ``[(item, count), ...]``; else None."""
+        chain: list[tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            chain.append((node.item, node.count))  # type: ignore[arg-type]
+        return chain
+
+
+def _conditional_tree(
+    paths: list[tuple[list[int], int]], min_support: int
+) -> "FPTree | None":
+    """Build the conditional FP-tree from a pattern base, or None if empty."""
+    counts: Counter[int] = Counter()
+    for path, count in paths:
+        for item in path:
+            counts[item] += count
+    frequent = {i for i, c in counts.items() if c >= min_support}
+    if not frequent:
+        return None
+    order = {i: -counts[i] for i in frequent}
+    tree = FPTree(order)
+    for path, count in paths:
+        filtered = [i for i in path if i in frequent]
+        if filtered:
+            tree.insert(filtered, count)
+    return tree if tree.header else None
+
+
+def _subsets_of_chain(chain: list[tuple[int, int]]) -> Iterable[tuple[tuple[int, ...], int]]:
+    """All non-empty subsets of a single path with their supports.
+
+    The support of a subset is the count of its deepest (least-count)
+    member, since counts are non-increasing along the chain.
+    """
+    n = len(chain)
+    for mask in range(1, 1 << n):
+        items: list[int] = []
+        support = None
+        for bit in range(n):
+            if mask & (1 << bit):
+                items.append(chain[bit][0])
+                support = chain[bit][1]
+        assert support is not None
+        yield tuple(items), support
+
+
+def _fp_growth(
+    tree: FPTree,
+    prefix: tuple[int, ...],
+    min_support: int,
+    result: PatternSet,
+    stats: dict[str, int],
+) -> None:
+    chain = tree.single_path()
+    if chain is not None:
+        stats["single_path_shortcuts"] += 1
+        for items, support in _subsets_of_chain(chain):
+            result.add(prefix + items, support)
+        return
+    # Mine items from least frequent (deepest) upward for the classic
+    # bottom-up pattern growth.
+    items = sorted(tree.header, key=lambda i: (tree.order[i], i), reverse=True)
+    for item in items:
+        support = sum(node.count for node in tree.item_nodes(item))
+        if support < min_support:
+            continue
+        new_prefix = prefix + (item,)
+        result.add(new_prefix, support)
+        paths = tree.prefix_paths(item)
+        stats["conditional_bases"] += 1
+        stats["path_items"] += sum(len(p) for p, _count in paths)
+        conditional = _conditional_tree(paths, min_support)
+        if conditional is not None:
+            _fp_growth(conditional, new_prefix, min_support, result, stats)
+
+
+def mine_fpgrowth(
+    db: TransactionDatabase,
+    min_support: int,
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """All patterns with support >= ``min_support`` using FP-growth."""
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    supports = db.item_supports()
+    frequent = {i for i, c in supports.items() if c >= min_support}
+    result = PatternSet()
+    if not frequent:
+        return result
+    order = {i: -supports[i] for i in frequent}
+    tree = FPTree(order)
+    for tx in db:
+        filtered = [i for i in tx if i in frequent]
+        if filtered:
+            tree.insert(filtered)
+    stats = {"conditional_bases": 0, "path_items": 0, "single_path_shortcuts": 0}
+    _fp_growth(tree, (), min_support, result, stats)
+    if counters is not None:
+        counters.tuple_scans += 2 * len(db)
+        counters.item_visits += db.total_items() + stats["path_items"]
+        counters.projections += stats["conditional_bases"]
+        counters.add("single_path_shortcuts", stats["single_path_shortcuts"])
+        counters.patterns_emitted += len(result)
+    return result

@@ -1,0 +1,107 @@
+"""Tree Projection (Agarwal, Aggarwal & Prasad, 2001), depth-first.
+
+Frequent patterns are organized in a lexicographic tree. At each node the
+transactions are *projected* (reduced to that node's active extension
+items), and a triangular counting matrix tallies the supports of all
+2-extensions of the node in a single pass — so the supports of patterns
+two levels below a node are known before its children are visited. The
+paper adapts the depth-first variant, which this module implements.
+
+Item order is the ascending-support F-list, shared with the other
+projected-database miners.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.flist import FList
+from repro.mining.patterns import PatternSet
+
+
+class _TreeProjectionEngine:
+    def __init__(self, min_support: int, rank: dict[int, int]) -> None:
+        self.min_support = min_support
+        self.rank = rank
+        self.result = PatternSet()
+        self.matrix_updates = 0
+        self.tuple_scans = 0
+        self.projections = 0
+
+    def mine_node(
+        self,
+        prefix: tuple[int, ...],
+        transactions: list[tuple[int, ...]],
+        extensions: list[int],
+    ) -> None:
+        """Expand the lexicographic-tree node ``prefix``.
+
+        ``extensions`` are the node's active items (each already known
+        frequent together with ``prefix`` and already emitted by the
+        caller); ``transactions`` are projected onto exactly those items.
+        """
+        if len(extensions) < 2:
+            return
+        # One pass over the projected transactions fills the triangular
+        # matrix of 2-extension supports: count(prefix + {a, b}).
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        for tx in transactions:
+            self.tuple_scans += 1
+            self.matrix_updates += len(tx) * (len(tx) - 1) // 2
+            for a_pos in range(len(tx) - 1):
+                a = tx[a_pos]
+                for b_pos in range(a_pos + 1, len(tx)):
+                    pair_counts[(a, tx[b_pos])] += 1
+
+        for e_pos, e in enumerate(extensions):
+            child_extensions = [
+                f
+                for f in extensions[e_pos + 1 :]
+                if pair_counts[(e, f)] >= self.min_support
+            ]
+            if not child_extensions:
+                continue
+            child_prefix = prefix + (e,)
+            for f in child_extensions:
+                self.result.add(child_prefix + (f,), pair_counts[(e, f)])
+            keep = set(child_extensions)
+            child_transactions = []
+            for tx in transactions:
+                if e not in tx:
+                    continue
+                projected = tuple(i for i in tx if i in keep)
+                if len(projected) >= 2:
+                    child_transactions.append(projected)
+            self.projections += 1
+            self.mine_node(child_prefix, child_transactions, child_extensions)
+
+
+def mine_treeprojection(
+    db: TransactionDatabase,
+    min_support: int,
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """All patterns with support >= ``min_support`` via depth-first TP."""
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    flist = FList.from_database(db, min_support)
+    rank = {i: flist.rank(i) for i in flist}
+    engine = _TreeProjectionEngine(min_support, rank)
+    for item in flist:
+        engine.result.add((item,), flist.support(item))
+    transactions = []
+    for tx in db:
+        projected = tuple(flist.sort_items(tx))
+        if len(projected) >= 2:
+            transactions.append(projected)
+    engine.mine_node((), transactions, list(flist.order))
+    if counters is not None:
+        counters.tuple_scans += engine.tuple_scans + len(db)
+        counters.item_visits += db.total_items()
+        counters.add("matrix_updates", engine.matrix_updates)
+        counters.projections += engine.projections
+        counters.patterns_emitted += len(engine.result)
+    return engine.result

@@ -1,0 +1,5 @@
+"""Association rules derived from frequent patterns."""
+
+from repro.rules.generation import AssociationRule, filter_rules, generate_rules
+
+__all__ = ["AssociationRule", "filter_rules", "generate_rules"]

@@ -1,0 +1,115 @@
+"""A simulated disk with I/O accounting.
+
+The paper's Section 5.3 enforces 4/8 MB memory limits on a 2004 PC and
+measures the cost of projecting databases to secondary storage. We have
+neither the machine nor a reason to hit a real filesystem, so this module
+models the part that matters: *how many bytes move*. Objects are kept in
+memory; every write and read charges byte and operation counters (into a
+:class:`~repro.metrics.counters.CostCounters`) plus a simple seek+transfer
+time model that experiments can report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.metrics.counters import CostCounters
+
+#: Bytes per stored item id (a 2004-era 32-bit int).
+ITEM_BYTES = 4
+#: Bytes of per-record framing (tuple length header).
+RECORD_OVERHEAD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Timing model: per-operation seek cost plus linear transfer cost."""
+
+    seek_seconds: float = 0.005
+    bytes_per_second: float = 40_000_000.0
+
+    def transfer_time(self, total_bytes: int, operations: int) -> float:
+        return operations * self.seek_seconds + total_bytes / self.bytes_per_second
+
+
+def transactions_byte_size(transactions: list[tuple[int, ...]]) -> int:
+    """Modelled on-disk size of a list of plain transactions."""
+    return sum(
+        len(tx) * ITEM_BYTES + RECORD_OVERHEAD_BYTES for tx in transactions
+    )
+
+
+def cgroups_byte_size(groups) -> int:
+    """Modelled on-disk size of a compressed (projected) database.
+
+    Each group stores its pattern once plus a count, then its tails.
+    """
+    total = 0
+    for group in groups:
+        total += len(group.pattern) * ITEM_BYTES + 2 * RECORD_OVERHEAD_BYTES
+        for tail in group.tails:
+            total += len(tail) * ITEM_BYTES + RECORD_OVERHEAD_BYTES
+    return total
+
+
+class SimulatedDisk:
+    """Keyed object store that charges simulated I/O.
+
+    ``write``/``read`` take an explicit byte size (computed by the caller
+    with the helpers above) so the accounting matches the representation
+    actually being "stored", not Python object overhead.
+    """
+
+    def __init__(self, model: DiskModel | None = None, counters: CostCounters | None = None) -> None:
+        self.model = model or DiskModel()
+        self.counters = counters
+        self._store: dict[str, object] = {}
+        self._sizes: dict[str, int] = {}
+        self.simulated_seconds = 0.0
+        self.total_bytes_written = 0
+        self.total_bytes_read = 0
+        self.write_ops = 0
+        self.read_ops = 0
+        self.peak_stored_bytes = 0
+
+    def write(self, key: str, payload: object, byte_size: int) -> None:
+        """Store ``payload`` under ``key``, charging ``byte_size`` bytes."""
+        if byte_size < 0:
+            raise StorageError(f"negative byte size {byte_size} for {key!r}")
+        self._store[key] = payload
+        self._sizes[key] = byte_size
+        self.simulated_seconds += self.model.transfer_time(byte_size, 1)
+        self.total_bytes_written += byte_size
+        self.write_ops += 1
+        self.peak_stored_bytes = max(self.peak_stored_bytes, self.stored_bytes())
+        if self.counters is not None:
+            self.counters.disk_writes += 1
+            self.counters.bytes_written += byte_size
+
+    def read(self, key: str) -> object:
+        """Fetch ``payload`` for ``key``, charging its stored size."""
+        try:
+            payload = self._store[key]
+        except KeyError:
+            raise StorageError(f"no object stored under {key!r}") from None
+        byte_size = self._sizes[key]
+        self.simulated_seconds += self.model.transfer_time(byte_size, 1)
+        self.total_bytes_read += byte_size
+        self.read_ops += 1
+        if self.counters is not None:
+            self.counters.disk_reads += 1
+            self.counters.bytes_read += byte_size
+        return payload
+
+    def delete(self, key: str) -> None:
+        """Drop a stored object (no I/O charge — it models a free)."""
+        self._store.pop(key, None)
+        self._sizes.pop(key, None)
+
+    def stored_bytes(self) -> int:
+        """Total bytes currently resident on the simulated disk."""
+        return sum(self._sizes.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store

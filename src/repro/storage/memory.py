@@ -1,0 +1,69 @@
+"""Memory-usage estimation for mining structures.
+
+H-Mine's defining systems feature (and the reason the paper can enforce
+memory limits on it but not on FP-tree or Tree Projection, Section 5.3)
+is that its structure size is *predictable*: one fixed-size entry per
+frequent-item occurrence plus headers. The RP-Struct inherits this —
+group patterns are stored once, tails entry-per-occurrence.
+
+Estimates use 2004-flavoured entry sizes so the 4/8 MB budgets of
+Figures 21–24 translate meaningfully onto the scaled-down datasets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+#: An H-struct entry: item id + hyper-link pointer.
+ENTRY_BYTES = 8
+#: A header-table slot: item, count, item-link (+ group-link for RP).
+HEADER_BYTES = 16
+#: Per-transaction / per-tail framing.
+TUPLE_OVERHEAD_BYTES = 8
+#: Per-group framing: pattern pointer, count, tail pointer.
+GROUP_OVERHEAD_BYTES = 16
+
+
+def estimate_hstruct_bytes(
+    frequent_occurrences: int, tuple_count: int, frequent_item_count: int
+) -> int:
+    """Estimated H-struct footprint (Pei et al.'s accounting).
+
+    ``frequent_occurrences`` is the total number of frequent-item
+    occurrences across transactions — each becomes one linked entry.
+    """
+    if min(frequent_occurrences, tuple_count, frequent_item_count) < 0:
+        raise StorageError("negative size inputs")
+    return (
+        frequent_occurrences * ENTRY_BYTES
+        + tuple_count * TUPLE_OVERHEAD_BYTES
+        + frequent_item_count * HEADER_BYTES
+    )
+
+
+def estimate_transactions_bytes(transactions: list[tuple[int, ...]], item_count: int) -> int:
+    """H-struct estimate for an explicit (projected) transaction list."""
+    occurrences = sum(len(tx) for tx in transactions)
+    return estimate_hstruct_bytes(occurrences, len(transactions), item_count)
+
+
+def estimate_rpstruct_bytes(groups, item_count: int) -> int:
+    """Estimated RP-Struct footprint for a compressed (projected) database.
+
+    Pattern items are stored once per group; every tail occurrence costs
+    a linked entry exactly like H-Mine (Section 4.1's group-tail reuse of
+    the H-Mine structure).
+    """
+    total = item_count * HEADER_BYTES
+    for group in groups:
+        total += GROUP_OVERHEAD_BYTES + len(group.pattern) * ENTRY_BYTES
+        for tail in group.tails:
+            total += TUPLE_OVERHEAD_BYTES + len(tail) * ENTRY_BYTES
+    return total
+
+
+def megabytes(n: float) -> int:
+    """Convenience: ``megabytes(4)`` -> the paper's 4 MB budget in bytes."""
+    if n <= 0:
+        raise StorageError(f"memory budget must be positive, got {n}")
+    return int(n * 1024 * 1024)

@@ -1,0 +1,313 @@
+"""Memory-limited mining via parallel projection (Sections 3.3 and 5.3).
+
+When the (compressed) database's mining structure exceeds the memory
+budget, it is *parallel-projected*: one pass writes every tuple into the
+projected database of **each** of its frequent items on (simulated) disk
+— the approach the paper adopts over partition-based projection, trading
+disk space for a single projection pass. Each projected database is then
+read back and mined independently, recursing if it still does not fit.
+
+Two drivers share this logic: :func:`mine_hmine_with_memory_budget` for
+the plain H-Mine baseline and :func:`mine_rp_with_memory_budget` for the
+recycling miner over compressed groups — the H-Mine vs HM-MCP pairing of
+Figures 21–24.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.naive import (
+    CGroup,
+    compressed_to_cgroups,
+    count_group_supports,
+    mine_rp,
+    normalize_groups,
+    project_groups,
+)
+from repro.core.compression import CompressedDatabase
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.flist import FList
+from repro.mining.hmine import build_hstruct, mine_hmine_suffixes
+from repro.mining.patterns import PatternSet
+from repro.storage.disk import SimulatedDisk, cgroups_byte_size, transactions_byte_size
+from repro.storage.memory import estimate_rpstruct_bytes, estimate_transactions_bytes
+
+
+def mine_hmine_with_memory_budget(
+    db: TransactionDatabase,
+    min_support: int,
+    memory_budget_bytes: int,
+    disk: SimulatedDisk | None = None,
+    counters: CostCounters | None = None,
+    mode: str = "parallel",
+) -> PatternSet:
+    """H-Mine under a memory budget, spilling projections to disk.
+
+    ``mode`` selects between the two projection schemes Section 3.3
+    weighs: ``"parallel"`` (the paper's choice — one pass writes each
+    tuple into *every* frequent item's partition, trading disk space for
+    speed) and ``"partition"`` (each tuple is written only to its first
+    item's partition, and partitions re-project forward after mining —
+    less disk space, more passes).
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if memory_budget_bytes < 1:
+        raise MiningError(f"memory budget must be positive, got {memory_budget_bytes}")
+    if mode not in ("parallel", "partition"):
+        raise MiningError(f"unknown projection mode {mode!r}")
+    disk = disk or SimulatedDisk(counters=counters)
+    flist = FList.from_database(db, min_support)
+    rank = {item: flist.rank(item) for item in flist}
+    result = PatternSet()
+    transactions = build_hstruct(db, flist)
+    if mode == "parallel":
+        _mine_transaction_block(
+            transactions,
+            (),
+            min_support,
+            rank,
+            memory_budget_bytes,
+            disk,
+            result,
+            counters,
+            depth_key="h",
+        )
+    else:
+        _mine_partitioned(
+            transactions, min_support, rank, memory_budget_bytes, disk, result, counters
+        )
+    if counters is not None:
+        counters.patterns_emitted += len(result)
+    return result
+
+
+def _mine_partitioned(
+    transactions: list[tuple[int, ...]],
+    min_support: int,
+    rank: dict[int, int],
+    budget: int,
+    disk: SimulatedDisk,
+    result: PatternSet,
+    counters: CostCounters | None,
+) -> None:
+    """Partition-based projection (Section 3.3's space-saving variant).
+
+    Each tuple lives in exactly one partition at a time — that of its
+    first live item. Mining partition ``i`` handles every pattern
+    containing ``i``; afterwards the partition's suffixes migrate
+    (append-only chunks, so only delta bytes are charged) to their next
+    item's partition. Disk holds each tuple once.
+    """
+    counts: Counter[int] = Counter()
+    for tx in transactions:
+        counts.update(tx)
+    frequent = [i for i, c in counts.items() if c >= min_support]
+    if not frequent:
+        return
+    frequent.sort(key=rank.__getitem__)
+    frequent_set = set(frequent)
+
+    partitions: dict[int, list[tuple[int, ...]]] = {i: [] for i in frequent}
+    for tx in transactions:
+        live = tuple(i for i in tx if i in frequent_set)
+        if live:
+            partitions[live[0]].append(live[1:])
+    chunk_counts: dict[int, int] = {}
+    for item in frequent:
+        disk.write(
+            f"part/{item}/0", partitions[item], transactions_byte_size(partitions[item])
+        )
+        chunk_counts[item] = 1
+    partitions.clear()
+
+    for item in frequent:
+        suffixes: list[tuple[int, ...]] = []
+        for chunk in range(chunk_counts[item]):
+            key = f"part/{item}/{chunk}"
+            suffixes.extend(disk.read(key))  # type: ignore[arg-type]
+            disk.delete(key)
+        result.add((item,), counts[item])
+        live_suffixes = [tx for tx in suffixes if tx]
+        if not live_suffixes:
+            continue
+        # Mine all extensions of `item` from its partition; the
+        # in-memory/recurse decision reuses the parallel block.
+        _mine_transaction_block(
+            live_suffixes,
+            (item,),
+            min_support,
+            rank,
+            budget,
+            disk,
+            result,
+            counters,
+            depth_key=f"part-sub/{item}",
+        )
+        # Re-project forward: each suffix appends to its head's partition.
+        forward: dict[int, list[tuple[int, ...]]] = {}
+        for tx in live_suffixes:
+            forward.setdefault(tx[0], []).append(tx[1:])
+        for successor, rows in forward.items():
+            chunk = chunk_counts[successor]
+            disk.write(
+                f"part/{successor}/{chunk}", rows, transactions_byte_size(rows)
+            )
+            chunk_counts[successor] = chunk + 1
+
+
+def _mine_transaction_block(
+    transactions: list[tuple[int, ...]],
+    prefix: tuple[int, ...],
+    min_support: int,
+    rank: dict[int, int],
+    budget: int,
+    disk: SimulatedDisk,
+    result: PatternSet,
+    counters: CostCounters | None,
+    depth_key: str,
+) -> None:
+    counts: Counter[int] = Counter()
+    for tx in transactions:
+        counts.update(tx)
+    frequent = [i for i, c in counts.items() if c >= min_support]
+    if not frequent:
+        return
+    frequent.sort(key=rank.__getitem__)
+
+    estimate = estimate_transactions_bytes(transactions, len(frequent))
+    if estimate <= budget:
+        mined = mine_hmine_suffixes(transactions, min_support, prefix, rank, counters)
+        for items, support in mined.items():
+            result.add(items, support)
+        return
+
+    # Parallel projection: one pass writes each transaction into every
+    # frequent item's projected database.
+    frequent_set = set(frequent)
+    partitions: dict[int, list[tuple[int, ...]]] = {i: [] for i in frequent}
+    for tx in transactions:
+        live = [i for i in tx if i in frequent_set]
+        for position, item in enumerate(live):
+            suffix = tuple(live[position + 1 :])
+            if suffix:
+                partitions[item].append(suffix)
+    for item in frequent:
+        key = f"{depth_key}/{'.'.join(map(str, prefix))}/{item}"
+        disk.write(key, partitions[item], transactions_byte_size(partitions[item]))
+    # Free the in-memory copy conceptually; mine partitions one at a time.
+    for item in frequent:
+        key = f"{depth_key}/{'.'.join(map(str, prefix))}/{item}"
+        projected = disk.read(key)
+        disk.delete(key)
+        new_prefix = prefix + (item,)
+        result.add(new_prefix, counts[item])
+        _mine_transaction_block(
+            projected,  # type: ignore[arg-type]
+            new_prefix,
+            min_support,
+            rank,
+            budget,
+            disk,
+            result,
+            counters,
+            depth_key,
+        )
+
+
+def mine_rp_with_memory_budget(
+    compressed: CompressedDatabase | list[CGroup],
+    min_support: int,
+    memory_budget_bytes: int,
+    disk: SimulatedDisk | None = None,
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """RP-Mine under a memory budget (Figure 3, lines 1–6).
+
+    The recycling advantage persists on disk: projected *compressed*
+    databases store group patterns once, so both the bytes written and
+    the per-partition mining shrink relative to plain H-Mine.
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if memory_budget_bytes < 1:
+        raise MiningError(f"memory budget must be positive, got {memory_budget_bytes}")
+    disk = disk or SimulatedDisk(counters=counters)
+    if isinstance(compressed, CompressedDatabase):
+        groups = compressed_to_cgroups(compressed)
+    else:
+        groups = list(compressed)
+    result = PatternSet()
+    _mine_group_block(
+        groups, (), min_support, memory_budget_bytes, disk, result, counters
+    )
+    if counters is not None:
+        counters.patterns_emitted += len(result)
+    return result
+
+
+def _mine_group_block(
+    groups: list[CGroup],
+    prefix: tuple[int, ...],
+    min_support: int,
+    budget: int,
+    disk: SimulatedDisk,
+    result: PatternSet,
+    counters: CostCounters | None,
+) -> None:
+    stats = {
+        "group_counts": 0,
+        "tuple_scans": 0,
+        "item_visits": 0,
+        "projections": 0,
+        "single_group_enumerations": 0,
+    }
+    counts = count_group_supports(groups, stats)
+    frequent = [i for i, c in counts.items() if c >= min_support]
+    if counters is not None:
+        counters.group_counts += stats["group_counts"]
+        counters.tuple_scans += stats["tuple_scans"]
+        counters.item_visits += stats["item_visits"]
+    if not frequent:
+        return
+    frequent.sort(key=lambda i: (counts[i], i))
+    rank = {item: pos for pos, item in enumerate(frequent)}
+
+    # Estimate on the frequent-filtered structure — infrequent tail items
+    # never enter the RP-Struct, exactly as H-Mine's estimate only counts
+    # frequent occurrences.
+    stats2 = dict.fromkeys(stats, 0)
+    normalized = normalize_groups(groups, rank, stats2)
+    estimate = estimate_rpstruct_bytes(normalized, len(frequent))
+    if estimate <= budget:
+        mined = mine_rp(normalized, min_support, counters)
+        for items, support in mined.items():
+            result.add(prefix + tuple(items), support)
+        return
+    for item in frequent:
+        projected = project_groups(normalized, item, rank, stats2)
+        key = f"rp/{'.'.join(map(str, prefix))}/{item}"
+        disk.write(key, projected, cgroups_byte_size(projected))
+    if counters is not None:
+        counters.group_counts += stats2["group_counts"]
+        counters.tuple_scans += stats2["tuple_scans"]
+        counters.item_visits += stats2["item_visits"]
+        counters.projections += stats2["projections"]
+    for item in frequent:
+        key = f"rp/{'.'.join(map(str, prefix))}/{item}"
+        projected = disk.read(key)
+        disk.delete(key)
+        new_prefix = prefix + (item,)
+        result.add(new_prefix, counts[item])
+        _mine_group_block(
+            projected,  # type: ignore[arg-type]
+            new_prefix,
+            min_support,
+            budget,
+            disk,
+            result,
+            counters,
+        )

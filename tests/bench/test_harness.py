@@ -1,0 +1,109 @@
+"""Tests for the benchmark harness (runner, workloads, experiment dispatch).
+
+Experiment functions run full sweeps over the calibrated datasets, which
+is benchmark territory; here they are exercised on a tiny custom sweep
+(or the micro Quest workload) so the tests stay fast while still
+covering row shapes and the built-in consistency checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    FIGURES,
+    MEMORY_FIGURES,
+    figure_series,
+    memory_limited_figure,
+    run_experiment,
+    table3,
+    two_step_cold_start,
+)
+from repro.bench.runner import run_baseline, run_recycling, speedup, timed
+from repro.bench.workloads import prepare_workload
+from repro.errors import BenchmarkError
+from repro.mining.patterns import PatternSet
+
+
+class TestRunner:
+    def test_timed_returns_patterns_and_counters(self, paper_db):
+        run = timed("x", lambda counters: PatternSet({frozenset({1}): 2}))
+        assert run.label == "x"
+        assert run.pattern_count == 1
+        assert run.seconds >= 0
+
+    def test_run_baseline(self, paper_db):
+        run = run_baseline("hmine", paper_db, 2)
+        assert run.pattern_count > 0
+        assert run.counters.patterns_emitted == run.pattern_count
+
+    def test_unknown_baseline_rejected(self, paper_db):
+        with pytest.raises(BenchmarkError, match="unknown baseline"):
+            run_baseline("quantum", paper_db, 2)
+
+    def test_run_recycling(self, paper_db, paper_old_patterns):
+        from repro.core.compression import compress
+
+        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
+        run = run_recycling("hmine", compressed, 2, "mcp")
+        assert run.label == "hmine-mcp"
+        baseline = run_baseline("hmine", paper_db, 2)
+        assert run.patterns == baseline.patterns
+
+    def test_speedup(self):
+        fast = timed("f", lambda c: PatternSet())
+        slow_run = type(fast)("s", fast.seconds * 2 + 1.0, fast.patterns, fast.counters)
+        assert speedup(slow_run, fast) > 1
+
+
+class TestWorkloads:
+    def test_prepare_workload_cached(self):
+        first = prepare_workload("connect4")
+        second = prepare_workload("connect4")
+        assert first is second
+
+    def test_workload_contents(self):
+        workload = prepare_workload("connect4")
+        assert workload.name == "connect4"
+        assert len(workload.old_patterns) > 0
+        assert set(workload.compressions) == {"mcp", "mlp"}
+        assert workload.absolute_support(0.5) == len(workload.db) // 2
+        assert len(workload.sweep_absolute()) == len(workload.spec.xi_new_sweep)
+
+
+class TestExperimentShapes:
+    def test_figure_map_covers_paper(self):
+        assert sorted(FIGURES) == list(range(9, 21))
+        assert sorted(MEMORY_FIGURES) == list(range(21, 25))
+
+    def test_figure_series_tiny_sweep(self):
+        headers, rows = figure_series("connect4", "hmine", sweep=(0.93,))
+        assert len(rows) == 1
+        assert len(headers) == len(rows[0])
+        assert rows[0][0] == 0.93
+        assert rows[0][6] > 0  # speedup_mcp computed
+
+    def test_memory_figure_tiny_sweep(self):
+        headers, rows = memory_limited_figure(
+            "connect4", budget_fractions=(0.2,), sweep=(0.93,)
+        )
+        assert len(rows) == 1
+        assert len(headers) == len(rows[0])
+
+    def test_table3_shape(self):
+        headers, rows = table3()
+        assert len(rows) == 8  # 4 datasets x 2 strategies
+        assert headers[0] == "dataset"
+        for row in rows:
+            assert 0 < row[-1] <= 1  # compression ratio
+
+    def test_two_step_shape(self):
+        headers, rows = two_step_cold_start("connect4")
+        assert [row[0] for row in rows] == ["direct", "two-step"]
+        assert rows[0][5] == rows[1][5]
+
+    def test_run_experiment_dispatch_unknown(self):
+        with pytest.raises(BenchmarkError, match="unknown figure"):
+            run_experiment("fig99")
+        with pytest.raises(BenchmarkError, match="unknown experiment"):
+            run_experiment("nonsense")

@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plotting import chart_from_figure_rows, render_chart
+from repro.errors import BenchmarkError
+
+
+class TestRenderChart:
+    def test_basic_chart_contains_series_and_legend(self):
+        chart = render_chart(
+            [0.9, 0.8, 0.7],
+            {"base": [1.0, 2.0, 4.0], "mcp": [0.5, 0.6, 0.7]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o base" in chart
+        assert "x mcp" in chart
+        assert "seconds" in chart
+
+    def test_log_scale(self):
+        chart = render_chart(
+            [1, 2], {"a": [0.01, 100.0]}, log_y=True
+        )
+        assert "log scale" in chart
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(BenchmarkError, match="non-positive"):
+            render_chart([1], {"a": [0.0]}, log_y=True)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(BenchmarkError):
+            render_chart([], {"a": []})
+        with pytest.raises(BenchmarkError):
+            render_chart([1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BenchmarkError, match="points for"):
+            render_chart([1, 2], {"a": [1.0]})
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_chart([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+        assert chart.count("o") >= 3
+
+    def test_markers_land_in_order(self):
+        """Higher values must render on higher rows (grid area only)."""
+        chart = render_chart([1, 2], {"a": [0.0, 10.0]}, width=10, height=5)
+        grid = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        marked = [row for row, content in enumerate(grid) if "o" in content]
+        assert marked == [0, 4]  # max on top row, min on bottom row
+
+
+class TestFigureChart:
+    def test_from_figure_rows(self):
+        headers = ["xi_new", "abs", "patterns", "HM_s", "HM-MCP_s", "HM-MLP_s",
+                   "s1", "s2", "w1", "w2"]
+        rows = [
+            [0.93, 1395, 1512, 1.5, 0.38, 0.37, 4.0, 4.1, 1, 1],
+            [0.91, 1365, 2022, 2.1, 0.48, 0.46, 4.5, 4.6, 1, 1],
+        ]
+        chart = chart_from_figure_rows(headers, rows, title="Figure 15", log_y=True)
+        assert "Figure 15" in chart
+        assert "HM-MCP_s" in chart

@@ -1,0 +1,49 @@
+"""Tests for the text-table reporter."""
+
+from __future__ import annotations
+
+from repro.bench.report import format_cell, format_table, render_report
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(0.12345) == "0.1235"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(12345.6) == "12,346"
+        assert format_cell(0.0) == "0"
+
+    def test_ints(self):
+        assert format_cell(42) == "42"
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_bools_and_strings(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # Separator and data rows share one width; the header may be
+        # shorter after trailing-space stripping.
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+        assert len(lines[0]) <= len(lines[1])
+
+    def test_header_separator(self):
+        table = format_table(["x"], [[1]])
+        assert set(table.splitlines()[1]) == {"-"}
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestRenderReport:
+    def test_contains_title_and_table(self):
+        report = render_report("My Title", ["h"], [["v"]])
+        assert "My Title" in report
+        assert "=" in report
+        assert "v" in report

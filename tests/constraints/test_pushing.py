@@ -1,0 +1,141 @@
+"""Tests for constraint-pushed mining."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.aggregate import AggregateConstraint
+from repro.constraints.base import ConstraintContext
+from repro.constraints.engine import ConstraintSet
+from repro.constraints.pushing import mine_constrained
+from repro.constraints.support import (
+    ItemsWithin,
+    MaxLength,
+    MinLength,
+    MinSupport,
+)
+from repro.data.items import ItemTable
+from repro.data.synthetic import random_database
+from repro.data.transactions import TransactionDatabase
+from repro.metrics.counters import CostCounters
+from repro.mining.bruteforce import mine_bruteforce
+
+
+def reference(db, constraints, context):
+    """Oracle: mine unconstrained, then filter."""
+    xi = constraints.absolute_support(len(db))
+    return constraints.filter_patterns(mine_bruteforce(db, xi), context)
+
+
+def price_context(db, prices):
+    table = ItemTable()
+    for item, price in prices.items():
+        table.add(item, f"i{item}", price=price)
+    return ConstraintContext(db_size=len(db), item_table=table)
+
+
+class TestPushedEqualsFiltered:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_items_within(self, seed):
+        db = random_database(25, 8, 6, seed=seed)
+        constraints = ConstraintSet.of(MinSupport(2), ItemsWithin({0, 1, 2, 3}))
+        context = ConstraintContext(db_size=len(db))
+        assert mine_constrained(db, constraints, context) == reference(
+            db, constraints, context
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_max_price(self, seed):
+        db = random_database(25, 8, 6, seed=seed)
+        prices = {i: float(i) for i in range(8)}
+        context = price_context(db, prices)
+        constraints = ConstraintSet.of(
+            MinSupport(2), AggregateConstraint("max", "price", "<=", 4.0)
+        )
+        assert mine_constrained(db, constraints, context) == reference(
+            db, constraints, context
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sum_anti_monotone_pruning(self, seed):
+        db = random_database(25, 8, 6, seed=seed)
+        prices = {i: float(i + 1) for i in range(8)}
+        context = price_context(db, prices)
+        constraints = ConstraintSet.of(
+            MinSupport(2), AggregateConstraint("sum", "price", "<=", 9.0)
+        )
+        counters = CostCounters()
+        result = mine_constrained(db, constraints, context, counters)
+        assert result == reference(db, constraints, context)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monotone_and_convertible_post_checks(self, seed):
+        db = random_database(25, 8, 6, seed=seed)
+        prices = {i: float(i + 1) for i in range(8)}
+        context = price_context(db, prices)
+        constraints = ConstraintSet.of(
+            MinSupport(2),
+            MinLength(2),                                    # monotone
+            AggregateConstraint("avg", "price", ">=", 3.0),  # convertible
+        )
+        assert mine_constrained(db, constraints, context) == reference(
+            db, constraints, context
+        )
+
+    def test_mixed_everything(self):
+        db = random_database(30, 9, 7, seed=17)
+        prices = {i: float((i * 7) % 10 + 1) for i in range(9)}
+        context = price_context(db, prices)
+        constraints = ConstraintSet.of(
+            MinSupport(3),
+            ItemsWithin(set(range(7))),
+            MaxLength(3),
+            AggregateConstraint("sum", "price", "<=", 18.0),
+        )
+        assert mine_constrained(db, constraints, context) == reference(
+            db, constraints, context
+        )
+
+
+class TestPushingActuallyPrunes:
+    def test_succinct_filter_shrinks_universe(self):
+        db = TransactionDatabase([[1, 2, 3, 4]] * 5)
+        constraints = ConstraintSet.of(MinSupport(2), ItemsWithin({1, 2}))
+        counters = CostCounters()
+        result = mine_constrained(db, constraints, counters=counters)
+        assert set().union(*result) == {1, 2}
+        # Items 3 and 4 were never scanned past the root.
+        assert counters.item_visits < 5 * 4 * 2 + 20
+
+    def test_anti_monotone_prunes_subtrees(self):
+        db = TransactionDatabase([[1, 2, 3]] * 4)
+        prices = {1: 5.0, 2: 5.0, 3: 5.0}
+        context = price_context(db, prices)
+        constraints = ConstraintSet.of(
+            MinSupport(2), AggregateConstraint("sum", "price", "<=", 10.0)
+        )
+        counters = CostCounters()
+        result = mine_constrained(db, constraints, context, counters)
+        assert all(len(p) <= 2 for p in result)
+        assert counters.as_dict()["constraint_prunes"] > 0
+
+
+@given(
+    transactions=st.lists(
+        st.lists(st.integers(0, 6), min_size=1, max_size=5),
+        min_size=1,
+        max_size=15,
+    ),
+    allowed=st.frozensets(st.integers(0, 6), min_size=1),
+    max_len=st.integers(1, 4),
+)
+@settings(max_examples=50, deadline=None)
+def test_pushed_equals_filtered_property(transactions, allowed, max_len):
+    db = TransactionDatabase(transactions)
+    context = ConstraintContext(db_size=len(db))
+    constraints = ConstraintSet.of(MinSupport(2), ItemsWithin(allowed), MaxLength(max_len))
+    assert mine_constrained(db, constraints, context) == reference(
+        db, constraints, context
+    )

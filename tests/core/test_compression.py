@@ -1,0 +1,146 @@
+"""Tests for the compression phase (Figure 1 / Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import compress
+from repro.data.transactions import TransactionDatabase
+from repro.errors import CompressionError
+from repro.metrics.counters import CostCounters
+from repro.mining.apriori import mine_apriori
+from repro.mining.patterns import PatternSet
+
+# Paper item encoding (see tests/conftest.py).
+A, B, C, D, E, F, G, H, I = 1, 2, 3, 4, 5, 6, 7, 8, 9
+
+
+class TestPaperTable2:
+    """The worked example: compressing Table 1 with MCP yields Table 2."""
+
+    def test_groups_match_table2(self, paper_db, paper_old_patterns):
+        result = compress(paper_db, paper_old_patterns, "mcp")
+        by_pattern = {group.pattern: group for group in result.compressed}
+
+        fgc = by_pattern[(C, F, G)]
+        assert fgc.count == 3
+        assert set(fgc.tids) == {100, 200, 300}
+        tails = dict(zip(fgc.tids, fgc.tails))
+        assert set(tails[100]) == {A, D, E}
+        assert set(tails[200]) == {B, D}
+        assert set(tails[300]) == {E}
+
+        ae = by_pattern[(A, E)]
+        assert ae.count == 2
+        assert set(ae.tids) == {400, 500}
+        ae_tails = dict(zip(ae.tids, ae.tails))
+        assert set(ae_tails[400]) == {C, I}
+        assert set(ae_tails[500]) == {H}
+
+    def test_every_tuple_is_grouped(self, paper_db, paper_old_patterns):
+        result = compress(paper_db, paper_old_patterns, "mcp")
+        assert result.compressed.grouped_tuple_count() == 5
+        assert result.compressed.tuple_count() == 5
+
+    def test_decompression_restores_table1(self, paper_db, paper_old_patterns):
+        result = compress(paper_db, paper_old_patterns, "mcp")
+        assert result.compressed.decompress() == paper_db
+
+    def test_statistics(self, paper_db, paper_old_patterns):
+        result = compress(paper_db, paper_old_patterns, "mcp")
+        assert result.pattern_count == 11
+        assert result.max_pattern_length == 3
+        assert result.containment_checks > 0
+        # Stored: fgc(3) + tails(3+2+1) + ae(2) + tails(2+1) = 14 slots
+        # vs 22 original occurrences.
+        assert result.compressed.size() == 14
+        assert result.ratio == pytest.approx(14 / 22)
+
+
+class TestGeneralBehaviour:
+    def test_unmatched_tuples_go_to_residual_group(self):
+        db = TransactionDatabase([[1, 2], [3, 4], [5, 6]])
+        patterns = PatternSet({frozenset({1, 2}): 1})
+        compressed = compress(db, patterns, "mcp").compressed
+        residual = [g for g in compressed if not g.pattern]
+        assert len(residual) == 1
+        assert residual[0].count == 2
+        assert compressed.decompress() == db
+
+    def test_empty_pattern_set_rejected(self, tiny_db):
+        with pytest.raises(CompressionError, match="empty pattern set"):
+            compress(tiny_db, PatternSet(), "mcp")
+
+    def test_pattern_not_in_db_is_ignored(self, tiny_db):
+        patterns = PatternSet({frozenset({7, 8}): 2, frozenset({1, 2}): 2})
+        compressed = compress(tiny_db, patterns, "mcp").compressed
+        assert all(g.pattern != (7, 8) for g in compressed)
+        assert compressed.decompress() == tiny_db
+
+    def test_counters(self, paper_db, paper_old_patterns):
+        counters = CostCounters()
+        compress(paper_db, paper_old_patterns, "mcp", counters)
+        assert counters.containment_checks > 0
+        assert counters.tuple_scans == len(paper_db)
+
+    def test_first_match_in_utility_order_wins(self):
+        """A tuple containing two patterns goes to the higher-utility one."""
+        db = TransactionDatabase([[1, 2, 3, 4]])
+        patterns = PatternSet({frozenset({1, 2, 3}): 1, frozenset({3, 4}): 1})
+        compressed = compress(db, patterns, "mcp").compressed
+        assert compressed.groups[0].pattern == (1, 2, 3)
+
+    def test_group_ordering_largest_first_residual_last(self):
+        db = TransactionDatabase([[1, 2]] * 3 + [[3, 4]] * 5 + [[9]])
+        patterns = PatternSet({frozenset({1, 2}): 3, frozenset({3, 4}): 5})
+        compressed = compress(db, patterns, "mlp").compressed
+        assert compressed.groups[0].pattern == (3, 4)
+        assert compressed.groups[-1].pattern == ()
+
+    def test_strategy_accepts_object_or_name(self, tiny_db, paper_old_patterns):
+        from repro.core.utility import MLP
+
+        patterns = mine_apriori(tiny_db, 2)
+        by_name = compress(tiny_db, patterns, "mlp")
+        by_object = compress(tiny_db, patterns, MLP)
+        assert by_name.compressed.groups == by_object.compressed.groups
+
+
+@st.composite
+def database_and_patterns(draw):
+    transactions = draw(
+        st.lists(
+            st.lists(st.integers(0, 7), min_size=1, max_size=6),
+            min_size=1,
+            max_size=18,
+        )
+    )
+    db = TransactionDatabase(transactions)
+    xi_old = draw(st.integers(2, 4))
+    return db, mine_apriori(db, xi_old)
+
+
+@given(data=database_and_patterns(), strategy=st.sampled_from(["mcp", "mlp", "arrival", "random"]))
+@settings(max_examples=60, deadline=None)
+def test_compression_is_always_lossless(data, strategy):
+    """Property: decompress(compress(db)) == db under every strategy."""
+    db, patterns = data
+    if len(patterns) == 0:
+        return
+    compressed = compress(db, patterns, strategy).compressed
+    assert compressed.decompress() == db
+    assert compressed.tuple_count() == len(db)
+
+
+@given(data=database_and_patterns())
+@settings(max_examples=40, deadline=None)
+def test_compression_never_grows_the_database(data):
+    """Property: the stored-size ratio is at most 1 (patterns only ever
+    replace their own items)."""
+    db, patterns = data
+    if len(patterns) == 0:
+        return
+    result = compress(db, patterns, "mlp")
+    assert result.ratio <= 1.0 + 1e-9

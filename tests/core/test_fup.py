@@ -1,0 +1,107 @@
+"""Tests for the FUP incremental baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fup import fup_update
+from repro.data.synthetic import random_database
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+from repro.mining.apriori import mine_apriori
+from repro.mining.bruteforce import mine_bruteforce
+
+
+def grown(old_db, increment):
+    return TransactionDatabase(
+        list(old_db.transactions) + list(increment.transactions)
+    )
+
+
+class TestFUPCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_remining_same_relative_support(self, seed):
+        old_db = random_database(30, 8, 6, seed=seed)
+        increment = random_database(10, 8, 6, seed=seed + 100)
+        total = grown(old_db, increment)
+        # Keep the relative threshold constant: 10% of each size.
+        xi_old = max(1, len(old_db) // 10)
+        xi_new = max(1, len(total) // 10)
+        old_patterns = mine_apriori(old_db, xi_old)
+        updated = fup_update(old_db, increment, old_patterns, xi_new)
+        assert updated == mine_apriori(total, xi_new)
+
+    def test_pattern_frequent_only_after_increment(self):
+        """A newcomer concentrated in the increment must be found."""
+        old_db = TransactionDatabase([[1, 2]] * 8 + [[3]] * 2)
+        increment = TransactionDatabase([[4, 5]] * 6)
+        old_patterns = mine_apriori(old_db, 2)
+        updated = fup_update(old_db, increment, old_patterns, 4)
+        assert updated.support({4, 5}) == 6
+        assert updated == mine_apriori(grown(old_db, increment), 4)
+
+    def test_old_winner_that_loses(self):
+        """An old frequent pattern diluted below threshold must drop."""
+        old_db = TransactionDatabase([[1, 2]] * 3 + [[9]] * 2)
+        increment = TransactionDatabase([[7, 8]] * 15)
+        old_patterns = mine_apriori(old_db, 3)
+        assert {1, 2} in old_patterns
+        updated = fup_update(old_db, increment, old_patterns, 6)
+        assert {1, 2} not in updated
+        assert updated == mine_apriori(grown(old_db, increment), 6)
+
+    def test_empty_increment(self):
+        old_db = random_database(20, 6, 5, seed=1)
+        increment = TransactionDatabase([])
+        old_patterns = mine_apriori(old_db, 2)
+        assert fup_update(old_db, increment, old_patterns, 2) == old_patterns
+
+    def test_invalid_support_rejected(self, tiny_db):
+        from repro.mining.patterns import PatternSet
+
+        with pytest.raises(MiningError):
+            fup_update(tiny_db, tiny_db, PatternSet(), 0)
+
+
+class TestFUPEfficiencyContract:
+    def test_winner_counting_scans_increment_only(self):
+        """Winners must not trigger old-database rescans: the tuple-scan
+        count stays well below |old| * levels."""
+        from repro.metrics.counters import CostCounters
+
+        old_db = TransactionDatabase([[1, 2, 3]] * 50)
+        increment = TransactionDatabase([[1, 2, 3]] * 5)
+        old_patterns = mine_apriori(old_db, 25)
+        counters = CostCounters()
+        fup_update(old_db, increment, old_patterns, 27, counters)
+        # 3 levels of winners x 5 increment tuples plus level-1 newcomer
+        # handling; nothing close to 50-tuple old-db scans per level.
+        assert counters.tuple_scans < 50
+
+
+@given(
+    old_transactions=st.lists(
+        st.lists(st.integers(0, 6), min_size=1, max_size=5), min_size=4, max_size=20
+    ),
+    new_transactions=st.lists(
+        st.lists(st.integers(0, 6), min_size=1, max_size=5), min_size=0, max_size=10
+    ),
+    relative=st.sampled_from([0.2, 0.34, 0.5]),
+)
+@settings(max_examples=50, deadline=None)
+def test_fup_equals_remine_property(old_transactions, new_transactions, relative):
+    old_db = TransactionDatabase(old_transactions)
+    increment = TransactionDatabase(new_transactions)
+    total = grown(old_db, increment)
+    xi_old = max(1, int(relative * len(old_db)))
+    xi_new = max(1, int(relative * len(total)))
+    # FUP's precondition: the old run must be at least as permissive
+    # relative to the old database.
+    if xi_old / len(old_db) > xi_new / len(total):
+        xi_old = max(1, int(xi_new * len(old_db) / len(total)))
+    old_patterns = mine_bruteforce(old_db, xi_old)
+    assert fup_update(old_db, increment, old_patterns, xi_new) == mine_bruteforce(
+        total, xi_new
+    )

@@ -1,0 +1,82 @@
+"""Tests for recycling across database change (incremental mining)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import apply_deletions, apply_insertions, incremental_mine
+from repro.data.synthetic import quest_database, QuestParams
+from repro.errors import RecycleError
+from repro.mining.apriori import mine_apriori
+from repro.mining.hmine import mine_hmine
+from repro.mining.patterns import PatternSet
+
+
+@pytest.fixture
+def db():
+    return quest_database(
+        QuestParams(n_transactions=120, n_items=30, avg_transaction_length=6), seed=4
+    )
+
+
+class TestGrownDatabase:
+    def test_insertions_recycled_exactly(self, db):
+        old_patterns = mine_hmine(db, 12)
+        grown = apply_insertions(db, [[1, 2, 3], [2, 3, 4], [1, 2, 3, 4]])
+        result = incremental_mine(grown, old_patterns, 10)
+        assert result == mine_hmine(grown, 10)
+
+    def test_large_growth_with_distribution_shift(self, db):
+        """Incremental techniques struggle when the delta is drastic;
+        recycling must stay exact regardless."""
+        old_patterns = mine_hmine(db, 12)
+        shifted = quest_database(
+            QuestParams(n_transactions=120, n_items=30, avg_transaction_length=6),
+            seed=99,
+        )
+        grown = apply_insertions(db, shifted.transactions)
+        result = incremental_mine(grown, old_patterns, 15)
+        assert result == mine_hmine(grown, 15)
+
+
+class TestShrunkDatabase:
+    def test_deletions_recycled_exactly(self, db):
+        """Existing incremental techniques 'become awkward when the data
+        set reduces' (Section 6) — recycling does not care."""
+        old_patterns = mine_hmine(db, 12)
+        shrunk = apply_deletions(db, tids=list(range(0, 60)))
+        result = incremental_mine(shrunk, old_patterns, 6)
+        assert result == mine_hmine(shrunk, 6)
+
+    def test_unknown_tid_rejected(self, db):
+        with pytest.raises(RecycleError, match="unknown tids"):
+            apply_deletions(db, tids=[10_000])
+
+    def test_deletion_keeps_remaining_tids(self, db):
+        shrunk = apply_deletions(db, tids=[0, 2])
+        assert 0 not in shrunk.tids
+        assert 1 in shrunk.tids
+        assert len(shrunk) == len(db) - 2
+
+
+class TestBothChanged:
+    def test_constraint_and_data_change_together(self, db):
+        """Section 2 extension case (2): constraints and database both
+        change between iterations."""
+        old_patterns = mine_hmine(db, 15)
+        changed = apply_insertions(
+            apply_deletions(db, tids=list(range(20))), [[5, 6, 7]] * 10
+        )
+        result = incremental_mine(changed, old_patterns, 4)
+        assert result == mine_apriori(changed, 4)
+
+    def test_empty_old_patterns_rejected(self, db):
+        with pytest.raises(RecycleError, match="no old patterns"):
+            incremental_mine(db, PatternSet(), 5)
+
+    @pytest.mark.parametrize("algorithm", ["naive", "hmine", "fpgrowth", "treeprojection", "eclat"])
+    def test_all_algorithms(self, db, algorithm):
+        old_patterns = mine_hmine(db, 12)
+        grown = apply_insertions(db, [[1, 2, 3]] * 5)
+        result = incremental_mine(grown, old_patterns, 8, algorithm=algorithm)
+        assert result == mine_hmine(grown, 8)

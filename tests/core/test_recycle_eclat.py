@@ -1,0 +1,77 @@
+"""Tests for the grouped-Eclat recycling extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compression import compress
+from repro.core.naive import CGroup
+from repro.core.recycle_eclat import ALL, _intersect, _vertical_layout, mine_recycle_eclat
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.apriori import mine_apriori
+
+
+class TestAgainstPaperExample:
+    def test_matches_uncompressed_mining(self, paper_db, paper_old_patterns):
+        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
+        assert mine_recycle_eclat(compressed, 2) == mine_apriori(paper_db, 2)
+
+
+class TestGroupedTidsets:
+    def test_vertical_layout(self):
+        groups = [CGroup((1, 2), 3, ((3,), (4,)))]
+        tidsets, counts = _vertical_layout(groups)
+        assert counts == [3]
+        assert tidsets[1] == {0: ALL}
+        assert tidsets[3] == {0: frozenset({0})}
+        assert tidsets[4] == {0: frozenset({1})}
+
+    def test_all_all_intersection_is_one_op(self):
+        stats = {"group_counts": 0, "item_visits": 0}
+        result = _intersect({0: ALL, 1: ALL}, {0: ALL}, stats)
+        assert result == {0: ALL}
+        assert stats["group_counts"] == 1
+        assert stats["item_visits"] == 0
+
+    def test_all_set_intersection(self):
+        stats = {"group_counts": 0, "item_visits": 0}
+        members = frozenset({1, 2})
+        assert _intersect({0: ALL}, {0: members}, stats) == {0: members}
+        assert _intersect({0: members}, {0: ALL}, stats) == {0: members}
+
+    def test_set_set_intersection_drops_empty_groups(self):
+        stats = {"group_counts": 0, "item_visits": 0}
+        result = _intersect(
+            {0: frozenset({1}), 1: frozenset({5})},
+            {0: frozenset({2}), 1: frozenset({5, 6})},
+            stats,
+        )
+        assert result == {1: frozenset({5})}
+
+    def test_pattern_pair_support_without_touching_tuples(self):
+        """Two pattern items of a 1000-tuple group intersect in O(1)."""
+        groups = [CGroup((1, 2), 1000, ())]
+        counters = CostCounters()
+        patterns = mine_recycle_eclat(groups, 500, counters)
+        assert patterns.support({1, 2}) == 1000
+        assert counters.item_visits == 0
+        assert counters.group_counts >= 1
+
+    def test_mixed_groups_and_residual(self):
+        groups = [
+            CGroup((1, 2), 2, ((3,),)),
+            CGroup((), 3, ((1, 3), (2,), (3,))),
+        ]
+        # Content: (1,2,3), (1,2), (1,3), (2,), (3,).
+        patterns = mine_recycle_eclat(groups, 2)
+        assert patterns.support({1}) == 3
+        assert patterns.support({1, 3}) == 2
+        assert patterns.support({1, 2}) == 2
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(MiningError):
+            mine_recycle_eclat([], 0)
+
+    def test_empty(self):
+        assert len(mine_recycle_eclat([], 1)) == 0

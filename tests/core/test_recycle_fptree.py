@@ -1,0 +1,81 @@
+"""Unit tests specific to Recycle-FP (group heads as FP-tree tokens, §4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compression import compress
+from repro.core.naive import CGroup
+from repro.core.recycle_fptree import mine_recycle_fptree
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.apriori import mine_apriori
+
+
+class TestAgainstPaperExample:
+    def test_matches_uncompressed_mining(self, paper_db, paper_old_patterns):
+        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
+        assert mine_recycle_fptree(compressed, 2) == mine_apriori(paper_db, 2)
+
+    def test_group_counts_charged(self, paper_db, paper_old_patterns):
+        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
+        counters = CostCounters()
+        mine_recycle_fptree(compressed, 2, counters)
+        assert counters.group_counts > 0
+
+
+class TestTokenMechanics:
+    def test_pure_token_tree_enumerates(self):
+        """All tuples identical -> one token node -> direct enumeration."""
+        groups = [CGroup((1, 2, 3), 5, ())]
+        counters = CostCounters()
+        patterns = mine_recycle_fptree(groups, 3, counters)
+        assert len(patterns) == 7
+        assert all(s == 5 for _p, s in patterns.items())
+        assert counters.single_group_enumerations >= 1
+
+    def test_token_plus_chain_single_branch(self):
+        """A token with one shared tail chain hits the generalized
+        single-path shortcut: subsets of implied x chain items."""
+        groups = [CGroup((1, 2), 4, ((3,), (3,), (3,)))]
+        patterns = mine_recycle_fptree(groups, 3, CostCounters())
+        assert patterns.support({1}) == 4
+        assert patterns.support({1, 2}) == 4
+        assert patterns.support({3}) == 3
+        assert patterns.support({1, 2, 3}) == 3
+
+    def test_short_group_patterns_folded_into_path(self):
+        """Length-1 group heads are inlined (no token), results identical."""
+        groups = [CGroup((1,), 3, ((2,), (2,), ()))]
+        patterns = mine_recycle_fptree(groups, 2)
+        assert patterns.support({1}) == 3
+        assert patterns.support({1, 2}) == 2
+
+    def test_item_frequent_only_via_tokens(self):
+        """An item that never appears as an explicit node must still be
+        counted and extended through the token registry."""
+        groups = [
+            CGroup((1, 2), 3, ()),
+            CGroup((1, 3), 3, ()),
+        ]
+        patterns = mine_recycle_fptree(groups, 3)
+        assert patterns.support({1}) == 6
+        assert patterns.support({1, 2}) == 3
+        assert patterns.support({1, 3}) == 3
+        assert {2, 3} not in patterns
+
+    def test_mixed_tokens_and_residual_tuples(self):
+        groups = [
+            CGroup((1, 2), 2, ((4,),)),
+            CGroup((), 3, ((1, 4), (2, 4), (4,))),
+        ]
+        patterns = mine_recycle_fptree(groups, 3)
+        assert patterns.support({4}) == 4
+        assert patterns.support({1}) == 3
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(MiningError):
+            mine_recycle_fptree([], 0)
+
+    def test_empty_groups(self):
+        assert len(mine_recycle_fptree([], 1)) == 0

@@ -1,0 +1,101 @@
+"""Unit tests specific to Recycle-HM / RP-Struct (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compression import compress
+from repro.core.naive import CGroup
+from repro.core.recycle_hmine import cgroups_to_records, mine_recycle_hmine
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.apriori import mine_apriori
+
+A, B, C, D, E, F, G, H, I = 1, 2, 3, 4, 5, 6, 7, 8, 9
+
+
+class TestPaperExample5:
+    """Example 5 walks Recycle-HM over the RP-Struct of Figure 4."""
+
+    @pytest.fixture
+    def compressed(self, paper_db, paper_old_patterns):
+        return compress(paper_db, paper_old_patterns, "mcp").compressed
+
+    def test_matches_uncompressed_mining(self, paper_db, compressed):
+        assert mine_recycle_hmine(compressed, 2) == mine_apriori(paper_db, 2)
+
+    def test_d_projection_uses_single_group_enumeration(self, compressed):
+        """Example 5 step 1: d's frequent items {f,g,c} all live in group
+        fgc, so the combinations are enumerated without recursion."""
+        counters = CostCounters()
+        mine_recycle_hmine(compressed, 2, counters)
+        assert counters.single_group_enumerations >= 1
+
+    def test_group_links_save_item_visits(self, paper_db, compressed):
+        from repro.mining.hmine import mine_hmine
+
+        baseline = CostCounters()
+        mine_hmine(paper_db, 2, baseline)
+        recycled = CostCounters()
+        mine_recycle_hmine(compressed, 2, recycled)
+        assert recycled.group_counts > 0
+        assert recycled.item_visits < baseline.item_visits
+
+
+class TestRecordConstruction:
+    def test_infrequent_items_dropped_from_records(self):
+        grank = {1: 0, 2: 1}
+        groups = [CGroup((1, 9), 2, ((2, 8), (8,)))]
+        records = cgroups_to_records(groups, grank)
+        assert len(records) == 1
+        record = records[0]
+        assert record.pattern == (1,)
+        assert record.count == 2
+        assert record.tails == [((2,), 0)]
+
+    def test_fully_infrequent_group_dropped(self):
+        grank = {5: 0}
+        groups = [CGroup((9,), 3, ((8,),))]
+        assert cgroups_to_records(groups, grank) == []
+
+    def test_patterns_sorted_by_rank_not_id(self):
+        grank = {3: 0, 1: 1}
+        groups = [CGroup((1, 3), 2, ())]
+        records = cgroups_to_records(groups, grank)
+        assert records[0].pattern == (3, 1)
+
+
+class TestEdgeCases:
+    def test_invalid_support_rejected(self, paper_db, paper_old_patterns):
+        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
+        with pytest.raises(MiningError):
+            mine_recycle_hmine(compressed, 0)
+
+    def test_accepts_raw_cgroup_list(self, paper_db, paper_old_patterns):
+        from repro.core.naive import compressed_to_cgroups
+
+        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
+        groups = compressed_to_cgroups(compressed)
+        assert mine_recycle_hmine(groups, 2) == mine_recycle_hmine(compressed, 2)
+
+    def test_tail_items_interleaved_with_pattern_items(self):
+        """Tails holding items that rank between pattern items exercise
+        the item-link / group-link re-threading rules of Fill-RPHeader."""
+        # Craft supports so rank order interleaves pattern {10, 30} with
+        # tail items 20 and 40: tuples contain 10<20<30<40 by rank.
+        from repro.data.transactions import TransactionDatabase
+
+        db = TransactionDatabase(
+            [
+                [10, 20, 30, 40],
+                [10, 20, 30],
+                [10, 30, 40],
+                [10, 30],
+                [20, 40],
+                [40],
+            ]
+        )
+        old_patterns = mine_apriori(db, 4)  # includes {10, 30}: support 4
+        assert {10, 30} in old_patterns
+        compressed = compress(db, old_patterns, "mcp").compressed
+        assert mine_recycle_hmine(compressed, 2) == mine_apriori(db, 2)

@@ -1,0 +1,155 @@
+"""Tests for the interactive MiningSession (the paper's motivating loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.engine import ConstraintSet
+from repro.constraints.support import MaxLength, MinSupport
+from repro.core.session import MiningSession
+from repro.data.synthetic import quest_database, QuestParams
+from repro.errors import RecycleError
+from repro.mining.apriori import mine_apriori
+from repro.mining.hmine import mine_hmine
+
+
+@pytest.fixture
+def db():
+    return quest_database(
+        QuestParams(n_transactions=150, n_items=40, avg_transaction_length=6), seed=2
+    )
+
+
+class TestPathSelection:
+    def test_initial_then_filter_then_recycle(self, db):
+        session = MiningSession(db)
+        session.mine(10)
+        session.mine(20)   # tightened
+        session.mine(5)    # relaxed
+        assert [report.path for report in session.history] == [
+            "initial", "filter", "recycle",
+        ]
+
+    def test_same_constraints_take_filter_path(self, db):
+        session = MiningSession(db)
+        session.mine(10)
+        session.mine(10)
+        assert session.history[-1].path == "filter"
+
+    def test_every_path_gives_exact_results(self, db):
+        session = MiningSession(db)
+        for support in (12, 20, 6, 9, 4):
+            result = session.mine(support)
+            assert result == mine_hmine(db, support), f"wrong result at {support}"
+
+    def test_relative_supports_accepted(self, db):
+        session = MiningSession(db)
+        result = session.mine(0.1)
+        absolute = session.history[-1].absolute_support
+        assert absolute == 15  # ceil(0.1 * 150)
+        assert result == mine_hmine(db, absolute)
+
+    def test_mixed_change_recycles_then_filters(self, db):
+        session = MiningSession(db)
+        session.mine(ConstraintSet.min_support(10))
+        # Lower support (relax) + add max-length (tighten) = incomparable.
+        result = session.mine(ConstraintSet.of(MinSupport(6), MaxLength(2)))
+        assert session.history[-1].path == "recycle"
+        expected = mine_apriori(db, 6).filter(lambda p, s: len(p) <= 2)
+        assert result == expected
+
+    def test_non_support_constraints_do_not_poison_cache(self, db):
+        """A constrained result must not shrink the recycling feedstock."""
+        session = MiningSession(db)
+        session.mine(ConstraintSet.of(MinSupport(10), MaxLength(1)))
+        assert session.exported_patterns() == mine_hmine(db, 10)
+        result = session.mine(ConstraintSet.min_support(10))
+        assert result == mine_hmine(db, 10)
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["naive", "hmine", "fpgrowth", "treeprojection", "eclat"])
+    @pytest.mark.parametrize("strategy", ["mcp", "mlp"])
+    def test_all_combinations_exact(self, db, algorithm, strategy):
+        session = MiningSession(db, algorithm=algorithm, strategy=strategy)
+        session.mine(12)
+        result = session.mine(5)
+        assert session.history[-1].path == "recycle"
+        assert result == mine_hmine(db, 5)
+
+    def test_unknown_algorithm_rejected(self, db):
+        with pytest.raises(RecycleError, match="unknown algorithm"):
+            MiningSession(db, algorithm="magic")
+
+
+class TestMultiUser:
+    def test_seeded_patterns_enable_recycling(self, db):
+        """Section 2: one user's output recycles for another."""
+        alice = MiningSession(db)
+        alice.mine(12)
+
+        bob = MiningSession(db)
+        bob.seed_patterns(alice.exported_patterns(), absolute_support=12)
+        result = bob.mine(5)
+        assert bob.history[-1].path == "recycle"
+        assert result == mine_hmine(db, 5)
+
+    def test_seeding_empty_patterns_rejected(self, db):
+        from repro.mining.patterns import PatternSet
+
+        with pytest.raises(RecycleError, match="empty"):
+            MiningSession(db).seed_patterns(PatternSet(), 10)
+
+    def test_export_before_mining_rejected(self, db):
+        with pytest.raises(RecycleError, match="nothing mined"):
+            MiningSession(db).exported_patterns()
+
+    def test_save_and_load_patterns(self, db, tmp_path):
+        """Cross-process recycling: save in one session, load in another."""
+        path = str(tmp_path / "session.patterns")
+        alice = MiningSession(db)
+        alice.mine(12)
+        alice.save_patterns(path)
+
+        bob = MiningSession(db)
+        bob.load_patterns(path)
+        result = bob.mine(5)
+        assert bob.history[-1].path == "recycle"
+        assert result == mine_hmine(db, 5)
+
+    def test_load_rejects_headerless_file(self, db, tmp_path):
+        path = tmp_path / "raw.patterns"
+        path.write_text("1 2 : 3\n", encoding="utf-8")
+        with pytest.raises(RecycleError, match="absolute_support header"):
+            MiningSession(db).load_patterns(str(path))
+
+
+class TestReporting:
+    def test_last_report(self, db):
+        session = MiningSession(db)
+        with pytest.raises(RecycleError):
+            _ = session.last_report
+        session.mine(10)
+        report = session.last_report
+        assert report.index == 0
+        assert report.path == "initial"
+        assert report.elapsed_seconds >= 0
+        assert report.pattern_count == len(mine_hmine(db, 10))
+
+    def test_recycle_reports_counters(self, db):
+        session = MiningSession(db)
+        session.mine(12)
+        session.mine(5)
+        assert session.last_report.counters.patterns_emitted > 0
+
+
+class TestEmptyFeedstockFallback:
+    def test_relaxing_from_a_patternless_threshold_remines(self, db):
+        """If the previous threshold admitted no patterns, relaxing must
+        fall back to scratch mining instead of failing to recycle."""
+        session = MiningSession(db)
+        session.mine(len(db) + 1)   # nothing frequent
+        assert len(session.exported_patterns()) == 0
+        result = session.mine(5)
+        assert session.last_report.path == "initial"
+        assert result == mine_hmine(db, 5)

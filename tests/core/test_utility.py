@@ -1,0 +1,83 @@
+"""Unit tests for the MCP / MLP utility functions (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.utility import (
+    ARRIVAL,
+    MCP,
+    MLP,
+    RANDOM,
+    get_strategy,
+    mcp_utility,
+    mlp_utility,
+)
+from repro.errors import CompressionError
+from repro.mining.patterns import PatternSet
+
+
+class TestUtilityValues:
+    def test_mcp_paper_example(self):
+        """Example 2: U(fgc:3) = (2^3 - 1) * 3 = 21."""
+        assert mcp_utility(frozenset({3, 6, 7}), 3, 5) == 21.0
+
+    def test_mcp_pairs(self):
+        """Example 2: fg, gc, ae, ec at support 3 all score (2^2-1)*3 = 9."""
+        assert mcp_utility(frozenset({6, 7}), 3, 5) == 9.0
+
+    def test_mlp_length_dominates(self):
+        """|X|*|DB| + X.C: a longer pattern always beats a shorter one,
+        because support can never exceed |DB|."""
+        short_max_support = mlp_utility(frozenset({1}), 100, 100)
+        long_min_support = mlp_utility(frozenset({1, 2}), 1, 100)
+        assert long_min_support > short_max_support
+
+    def test_mlp_support_breaks_ties(self):
+        a = mlp_utility(frozenset({1, 2}), 5, 100)
+        b = mlp_utility(frozenset({3, 4}), 9, 100)
+        assert b > a
+
+
+class TestRanking:
+    def test_mcp_ranking_matches_example2(self, paper_old_patterns):
+        """Example 2's order: fgc first, then the support-3 pairs, then
+        the singletons e and c (utility 4), then the rest."""
+        ranked = MCP.rank_patterns(paper_old_patterns, db_size=5)
+        assert ranked[0][0] == frozenset({3, 6, 7})  # fgc
+        utilities = [mcp_utility(p, s, 5) for p, s in ranked]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_mlp_puts_longest_first(self, paper_old_patterns):
+        ranked = MLP.rank_patterns(paper_old_patterns, db_size=5)
+        lengths = [len(p) for p, _s in ranked]
+        assert lengths[0] == max(lengths)
+
+    def test_ranking_is_deterministic(self, paper_old_patterns):
+        first = MCP.rank_patterns(paper_old_patterns, db_size=5)
+        second = MCP.rank_patterns(paper_old_patterns, db_size=5)
+        assert first == second
+
+    def test_arrival_preserves_insertion_order(self):
+        patterns = PatternSet()
+        patterns.add([5], 1)
+        patterns.add([1, 2], 9)
+        ranked = ARRIVAL.rank_patterns(patterns, db_size=10)
+        assert [p for p, _s in ranked] == [frozenset({5}), frozenset({1, 2})]
+
+    def test_random_is_seeded(self, paper_old_patterns):
+        a = RANDOM.rank_patterns(paper_old_patterns, db_size=5, seed=42)
+        b = RANDOM.rank_patterns(paper_old_patterns, db_size=5, seed=42)
+        c = RANDOM.rank_patterns(paper_old_patterns, db_size=5, seed=43)
+        assert a == b
+        assert a != c
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_strategy("mcp") is MCP
+        assert get_strategy("mlp") is MLP
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CompressionError, match="unknown compression strategy"):
+            get_strategy("zip")

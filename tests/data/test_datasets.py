@@ -1,0 +1,68 @@
+"""Tests for the calibrated dataset stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import DATASETS, get_dataset
+from repro.errors import DataError
+
+
+class TestRegistry:
+    def test_all_four_paper_datasets_present(self):
+        assert set(DATASETS) == {"weather", "forest", "connect4", "pumsb"}
+
+    def test_get_dataset_unknown_raises(self):
+        with pytest.raises(DataError, match="unknown dataset"):
+            get_dataset("mushroom")
+
+    def test_specs_are_consistent(self):
+        for spec in DATASETS.values():
+            assert 0 < spec.xi_old <= 1
+            assert all(0 < s < spec.xi_old for s in spec.xi_new_sweep), (
+                f"{spec.name}: sweep must relax below xi_old"
+            )
+            assert list(spec.xi_new_sweep) == sorted(spec.xi_new_sweep, reverse=True)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_deterministic(self, name):
+        spec = get_dataset(name)
+        assert spec.load(seed=1) == spec.load(seed=1)
+
+    def test_density_split(self):
+        """Dense stand-ins must be dense, sparse ones sparse.
+
+        Density here = average frequency of an item occurrence slot:
+        avg_len / #items is a scale-free proxy.
+        """
+        for name, spec in DATASETS.items():
+            db = spec.load()
+            density = db.average_length() / db.item_count()
+            if spec.dense:
+                assert density > 0.05, f"{name} should be dense (got {density:.4f})"
+            else:
+                assert density < 0.05, f"{name} should be sparse (got {density:.4f})"
+
+    def test_connect4_small_alphabet_long_tuples(self):
+        db = get_dataset("connect4").load()
+        assert db.item_count() < 150
+        assert db.average_length() == pytest.approx(43, abs=0.5)
+
+    def test_pumsb_longest_tuples(self):
+        db = get_dataset("pumsb").load()
+        assert db.average_length() == pytest.approx(74, abs=0.5)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_xi_old_yields_recyclable_patterns(self, name):
+        """Each stand-in must produce a meaningful pattern set at xi_old
+        (the paper: no patterns to recycle means nothing to test)."""
+        from repro.mining.fptree import mine_fpgrowth
+
+        spec = get_dataset(name)
+        db = spec.load()
+        xi = max(1, int(spec.xi_old * len(db)))
+        patterns = mine_fpgrowth(db, xi)
+        assert len(patterns) > 100, f"{name}: too few patterns at xi_old"
+        assert patterns.max_length() >= 3, f"{name}: patterns too short at xi_old"

@@ -1,0 +1,88 @@
+"""Unit tests for FIMI and pattern-set I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.data.io import (
+    parse_patterns,
+    parse_transactions,
+    read_patterns,
+    read_transactions,
+    transactions_to_string,
+    write_patterns,
+    write_transactions,
+)
+from repro.data.transactions import TransactionDatabase
+from repro.errors import DataError
+from repro.mining.patterns import PatternSet
+
+
+class TestTransactionIO:
+    def test_roundtrip_via_file(self, tmp_path, tiny_db):
+        path = tmp_path / "db.dat"
+        write_transactions(tiny_db, path)
+        loaded = read_transactions(path)
+        assert loaded.transactions == tiny_db.transactions
+
+    def test_parse_skips_blank_and_comment_lines(self):
+        db = parse_transactions(io.StringIO("1 2 3\n\n# comment\n2 3\n"))
+        assert db.transactions == ((1, 2, 3), (2, 3))
+
+    def test_parse_rejects_non_integer(self):
+        with pytest.raises(DataError, match="line 1"):
+            parse_transactions(io.StringIO("1 x 3\n"))
+
+    def test_missing_file_raises_data_error(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read"):
+            read_transactions(tmp_path / "nope.dat")
+
+    def test_to_string_roundtrip(self, tiny_db):
+        text = transactions_to_string(tiny_db)
+        assert parse_transactions(io.StringIO(text)).transactions == tiny_db.transactions
+
+
+class TestPatternIO:
+    def test_roundtrip_via_file(self, tmp_path, paper_old_patterns):
+        path = tmp_path / "patterns.txt"
+        write_patterns(paper_old_patterns, path)
+        loaded = read_patterns(path)
+        assert loaded == paper_old_patterns
+
+    def test_output_is_deterministic(self, tmp_path, paper_old_patterns):
+        path_a = tmp_path / "a.txt"
+        path_b = tmp_path / "b.txt"
+        write_patterns(paper_old_patterns, path_a)
+        write_patterns(paper_old_patterns, path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_parse_rejects_missing_support(self):
+        with pytest.raises(DataError, match="missing"):
+            parse_patterns(io.StringIO("1 2 3\n"))
+
+    def test_parse_rejects_empty_pattern(self):
+        with pytest.raises(DataError, match="empty pattern"):
+            parse_patterns(io.StringIO(" : 3\n"))
+
+    def test_parse_rejects_garbage_support(self):
+        with pytest.raises(DataError, match="malformed"):
+            parse_patterns(io.StringIO("1 2 : x\n"))
+
+    def test_parse_skips_comments(self):
+        patterns = parse_patterns(io.StringIO("# header\n1 2 : 3\n"))
+        assert patterns.support({1, 2}) == 3
+
+    def test_recycling_across_sessions_via_files(self, tmp_path, paper_db):
+        """One user's saved output is another's recycling input."""
+        from repro.core.recycle import recycle_mine
+        from repro.mining.hmine import mine_hmine
+
+        old = mine_hmine(paper_db, 3)
+        path = tmp_path / "shared_patterns.txt"
+        write_patterns(old, path)
+
+        imported = read_patterns(path)
+        recycled = recycle_mine(paper_db, imported, 2)
+        assert recycled == mine_hmine(paper_db, 2)

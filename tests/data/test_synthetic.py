@@ -1,0 +1,113 @@
+"""Unit + property tests for the synthetic generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import (
+    QuestParams,
+    attribute_value_database,
+    quest_database,
+    random_database,
+)
+from repro.errors import DataError
+
+
+class TestQuest:
+    def test_deterministic_for_seed(self):
+        params = QuestParams(n_transactions=50, n_items=30)
+        assert quest_database(params, seed=3) == quest_database(params, seed=3)
+
+    def test_different_seeds_differ(self):
+        params = QuestParams(n_transactions=50, n_items=30)
+        assert quest_database(params, seed=1) != quest_database(params, seed=2)
+
+    def test_shape(self):
+        params = QuestParams(n_transactions=200, n_items=50, avg_transaction_length=6)
+        db = quest_database(params, seed=0)
+        assert len(db) == 200
+        assert db.items() <= set(range(50))
+        assert 2 < db.average_length() < 14
+
+    def test_no_empty_transactions(self):
+        db = quest_database(QuestParams(n_transactions=100, n_items=20), seed=5)
+        assert all(len(tx) >= 1 for tx in db)
+
+    def test_degenerate_params_rejected(self):
+        with pytest.raises(DataError):
+            quest_database(QuestParams(n_transactions=0))
+
+
+class TestAttributeValue:
+    def test_one_item_per_attribute_without_missing(self):
+        db = attribute_value_database(50, [4, 4, 4], missing_rate=0.0, seed=0)
+        assert all(len(tx) == 3 for tx in db)
+
+    def test_items_stay_within_attribute_ranges(self):
+        db = attribute_value_database(80, [5, 3, 7], missing_rate=0.0, seed=1)
+        for tx in db:
+            values = sorted(tx)
+            assert 0 <= values[0] < 5
+            assert 5 <= values[1] < 8
+            assert 8 <= values[2] < 15
+
+    def test_missing_rate_shortens_tuples(self):
+        full = attribute_value_database(300, [4] * 10, missing_rate=0.0, seed=2)
+        holey = attribute_value_database(300, [4] * 10, missing_rate=0.3, seed=2)
+        assert holey.average_length() < full.average_length()
+
+    def test_per_attribute_skews(self):
+        db = attribute_value_database(
+            500, [3, 3], value_skew=[8.0, 0.1], n_classes=1,
+            class_coherence=0.0, seed=3,
+        )
+        supports = db.item_supports()
+        # Attribute 0 is near-constant; attribute 1 near-uniform.
+        assert supports.get(0, 0) > 450
+        assert max(supports.get(i, 0) for i in (3, 4, 5)) < 350
+
+    def test_skew_length_mismatch_rejected(self):
+        with pytest.raises(DataError, match="skews"):
+            attribute_value_database(10, [3, 3], value_skew=[1.0])
+
+    def test_coherence_increases_correlation(self):
+        """Latent-class coherence must create longer frequent patterns."""
+        from repro.mining.hmine import mine_hmine
+
+        loose = attribute_value_database(
+            400, [6] * 8, value_skew=1.0, class_coherence=0.0, seed=4
+        )
+        tight = attribute_value_database(
+            400, [6] * 8, value_skew=1.0, class_coherence=0.9, seed=4
+        )
+        xi = 40
+        assert mine_hmine(tight, xi).max_length() > mine_hmine(loose, xi).max_length()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DataError):
+            attribute_value_database(10, [])
+        with pytest.raises(DataError):
+            attribute_value_database(10, [0])
+        with pytest.raises(DataError):
+            attribute_value_database(10, [3], class_coherence=1.5)
+
+
+class TestRandomDatabase:
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        items=st.integers(min_value=1, max_value=15),
+        length=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_respects_bounds(self, n, items, length, seed):
+        db = random_database(n, items, length, seed)
+        assert len(db) == n
+        assert all(1 <= len(tx) <= min(length, items) for tx in db)
+        assert db.items() <= set(range(items))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DataError):
+            random_database(5, 0, 3)

@@ -1,0 +1,54 @@
+"""Tests for memory-footprint estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naive import CGroup
+from repro.errors import StorageError
+from repro.storage.memory import (
+    ENTRY_BYTES,
+    estimate_hstruct_bytes,
+    estimate_rpstruct_bytes,
+    estimate_transactions_bytes,
+    megabytes,
+)
+
+
+class TestHStructEstimate:
+    def test_scales_with_occurrences(self):
+        small = estimate_hstruct_bytes(100, 10, 5)
+        large = estimate_hstruct_bytes(200, 10, 5)
+        assert large - small == 100 * ENTRY_BYTES
+
+    def test_from_transactions(self):
+        explicit = estimate_transactions_bytes([(1, 2), (3,)], item_count=3)
+        assert explicit == estimate_hstruct_bytes(3, 2, 3)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(StorageError):
+            estimate_hstruct_bytes(-1, 0, 0)
+
+
+class TestRPStructEstimate:
+    def test_group_pattern_amortized(self):
+        """The same content costs less as a group: pattern stored once."""
+        grouped = estimate_rpstruct_bytes(
+            [CGroup((1, 2, 3), 50, tuple((9,) for _ in range(50)))], item_count=4
+        )
+        flat = estimate_transactions_bytes([(1, 2, 3, 9)] * 50, item_count=4)
+        assert grouped < flat
+
+    def test_monotone_in_tail_length(self):
+        short = estimate_rpstruct_bytes([CGroup((1,), 2, ((2,),))], 2)
+        long = estimate_rpstruct_bytes([CGroup((1,), 2, ((2, 3, 4),))], 2)
+        assert long > short
+
+
+class TestMegabytes:
+    def test_value(self):
+        assert megabytes(4) == 4 * 1024 * 1024
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(StorageError):
+            megabytes(0)

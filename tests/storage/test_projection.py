@@ -1,0 +1,148 @@
+"""Tests for memory-limited mining with parallel projection (Section 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import compress
+from repro.data.synthetic import random_database
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+from repro.metrics.counters import CostCounters
+from repro.mining.apriori import mine_apriori
+from repro.mining.bruteforce import mine_bruteforce
+from repro.storage.disk import SimulatedDisk
+from repro.storage.projection import (
+    mine_hmine_with_memory_budget,
+    mine_rp_with_memory_budget,
+)
+
+HUGE = 10**12
+
+
+class TestHMineBudget:
+    @pytest.mark.parametrize("budget", [150, 800, 5000, HUGE])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_at_any_budget(self, budget, seed):
+        db = random_database(25, 9, 7, seed=seed)
+        reference = mine_bruteforce(db, 2)
+        assert mine_hmine_with_memory_budget(db, 2, budget) == reference
+
+    def test_large_budget_never_touches_disk(self):
+        db = random_database(20, 8, 6, seed=1)
+        counters = CostCounters()
+        disk = SimulatedDisk(counters=counters)
+        mine_hmine_with_memory_budget(db, 2, HUGE, disk=disk, counters=counters)
+        assert counters.bytes_written == 0
+
+    def test_tiny_budget_spills(self):
+        db = random_database(30, 8, 6, seed=2)
+        counters = CostCounters()
+        disk = SimulatedDisk(counters=counters)
+        mine_hmine_with_memory_budget(db, 2, 100, disk=disk, counters=counters)
+        assert counters.bytes_written > 0
+        assert counters.bytes_read == counters.bytes_written
+        assert disk.stored_bytes() == 0  # partitions freed after mining
+
+    def test_invalid_parameters_rejected(self, tiny_db):
+        with pytest.raises(MiningError):
+            mine_hmine_with_memory_budget(tiny_db, 0, 100)
+        with pytest.raises(MiningError):
+            mine_hmine_with_memory_budget(tiny_db, 1, 0)
+
+
+class TestRPBudget:
+    @pytest.mark.parametrize("budget", [120, 1000, HUGE])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_at_any_budget(self, budget, seed):
+        db = random_database(25, 9, 7, seed=seed)
+        old_patterns = mine_apriori(db, 4)
+        if len(old_patterns) == 0:
+            pytest.skip("no patterns at seed")
+        compressed = compress(db, old_patterns, "mcp").compressed
+        reference = mine_bruteforce(db, 2)
+        assert mine_rp_with_memory_budget(compressed, 2, budget) == reference
+
+    def test_rp_writes_fewer_bytes_than_hmine(self):
+        """The recycling advantage persists on disk: projected compressed
+        databases are smaller (group patterns stored once)."""
+        db = TransactionDatabase([[1, 2, 3, 4, extra] for extra in range(5, 25)] * 3)
+        old_patterns = mine_apriori(db, 50)
+        compressed = compress(db, old_patterns, "mcp").compressed
+
+        base_counters = CostCounters()
+        mine_hmine_with_memory_budget(db, 3, 200, counters=base_counters)
+        rp_counters = CostCounters()
+        mine_rp_with_memory_budget(compressed, 3, 200, counters=rp_counters)
+        assert (
+            mine_hmine_with_memory_budget(db, 3, 200)
+            == mine_rp_with_memory_budget(compressed, 3, 200)
+        )
+        assert rp_counters.bytes_written < base_counters.bytes_written
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(MiningError):
+            mine_rp_with_memory_budget([], 1, 0)
+
+
+@given(
+    transactions=st.lists(
+        st.lists(st.integers(0, 6), min_size=1, max_size=5),
+        min_size=1,
+        max_size=15,
+    ),
+    budget=st.sampled_from([80, 400, HUGE]),
+)
+@settings(max_examples=40, deadline=None)
+def test_budget_never_changes_answers(transactions, budget):
+    db = TransactionDatabase(transactions)
+    reference = mine_bruteforce(db, 2)
+    assert mine_hmine_with_memory_budget(db, 2, budget) == reference
+    old_patterns = mine_bruteforce(db, 3)
+    if len(old_patterns) > 0:
+        compressed = compress(db, old_patterns, "mcp").compressed
+        assert mine_rp_with_memory_budget(compressed, 2, budget) == reference
+
+
+class TestPartitionMode:
+    """Section 3.3's space-saving alternative to parallel projection."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_partition_mode_is_exact(self, seed):
+        db = random_database(25, 9, 7, seed=seed)
+        reference = mine_bruteforce(db, 2)
+        got = mine_hmine_with_memory_budget(db, 2, 150, mode="partition")
+        assert got == reference
+
+    def test_partition_mode_needs_less_peak_disk(self):
+        """The paper's §3.3 trade-off: partition-based projection "saves
+        disk space" — peak residency must be lower than parallel's."""
+        db = random_database(40, 8, 7, seed=3)
+        parallel_disk = SimulatedDisk()
+        mine_hmine_with_memory_budget(db, 2, 100, disk=parallel_disk, mode="parallel")
+        partition_disk = SimulatedDisk()
+        mine_hmine_with_memory_budget(db, 2, 100, disk=partition_disk, mode="partition")
+        assert partition_disk.peak_stored_bytes < parallel_disk.peak_stored_bytes
+        # ... and everything is freed at the end either way.
+        assert partition_disk.stored_bytes() == 0
+        assert parallel_disk.stored_bytes() == 0
+
+    def test_unknown_mode_rejected(self, tiny_db):
+        with pytest.raises(MiningError, match="unknown projection mode"):
+            mine_hmine_with_memory_budget(tiny_db, 1, 100, mode="zigzag")
+
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(0, 6), min_size=1, max_size=5),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_and_parallel_agree(self, transactions):
+        db = TransactionDatabase(transactions)
+        a = mine_hmine_with_memory_budget(db, 2, 120, mode="parallel")
+        b = mine_hmine_with_memory_budget(db, 2, 120, mode="partition")
+        assert a == b

@@ -1,0 +1,116 @@
+"""Tests for the repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import read_patterns, write_transactions
+from repro.data.transactions import TransactionDatabase
+from repro.mining.apriori import mine_apriori
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    db = TransactionDatabase(
+        [[1, 2, 3], [1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3, 4]]
+    )
+    path = tmp_path / "db.dat"
+    write_transactions(db, path)
+    return path, db
+
+
+class TestMine:
+    def test_mine_from_file(self, db_file, capsys):
+        path, _db = db_file
+        assert main(["mine", "--input", str(path), "--support", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "patterns" in out
+
+    def test_mine_writes_output(self, db_file, tmp_path, capsys):
+        path, db = db_file
+        out_path = tmp_path / "patterns.txt"
+        code = main(
+            ["mine", "--input", str(path), "--support", "3", "--output", str(out_path)]
+        )
+        assert code == 0
+        assert read_patterns(out_path) == mine_apriori(db, 3)
+
+    def test_relative_support(self, db_file, capsys):
+        path, _db = db_file
+        assert main(["mine", "--input", str(path), "--support", "0.5"]) == 0
+        assert "support 3" in capsys.readouterr().out
+
+    def test_missing_source_errors(self, capsys):
+        assert main(["mine", "--support", "2"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecycleAndCompress:
+    def test_recycle_matches_mine(self, db_file, tmp_path, capsys):
+        path, db = db_file
+        out_path = tmp_path / "recycled.txt"
+        code = main(
+            [
+                "recycle", "--input", str(path),
+                "--old-support", "4", "--support", "2",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert read_patterns(out_path) == mine_apriori(db, 2)
+
+    def test_recycle_with_pattern_file(self, db_file, tmp_path, capsys):
+        from repro.data.io import write_patterns
+
+        path, db = db_file
+        pattern_path = tmp_path / "old.txt"
+        write_patterns(mine_apriori(db, 4), pattern_path)
+        code = main(
+            [
+                "recycle", "--input", str(path), "--patterns", str(pattern_path),
+                "--old-support", "4", "--support", "2",
+            ]
+        )
+        assert code == 0
+        assert "patterns at support 2" in capsys.readouterr().out
+
+    def test_compress_reports_ratio(self, db_file, capsys):
+        path, _db = db_file
+        code = main(["compress", "--input", str(path), "--old-support", "4"])
+        assert code == 0
+        assert "ratio" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("mine", "compress", "recycle", "bench"):
+            assert command in text
+
+    def test_bench_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+
+class TestPlot:
+    def test_plot_rejects_memory_figures(self, capsys):
+        assert main(["plot", "--figure", "21"]) == 1
+        assert "not plottable" in capsys.readouterr().err
+
+    def test_plot_renders_chart(self, capsys, monkeypatch):
+        import repro.bench.experiments as experiments
+
+        def fake_figure(number, seed=0, sweep=None):
+            headers = ["xi_new", "abs", "patterns", "HM_s", "HM-MCP_s",
+                       "HM-MLP_s", "s1", "s2", "w1", "w2"]
+            rows = [[0.9, 10, 5, 1.0, 0.5, 0.6, 2.0, 1.7, 1, 1],
+                    [0.8, 8, 9, 2.0, 0.7, 0.8, 2.9, 2.5, 1, 1]]
+            return headers, rows
+
+        monkeypatch.setattr(experiments, "figure", fake_figure)
+        assert main(["plot", "--figure", "15", "--log"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 15" in out
+        assert "HM-MCP_s" in out

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BenchmarkError,
+    CompressionError,
+    ConstraintError,
+    DataError,
+    MiningError,
+    RecycleError,
+    ReproError,
+    StorageError,
+)
+
+ALL_ERRORS = [
+    BenchmarkError,
+    CompressionError,
+    ConstraintError,
+    DataError,
+    MiningError,
+    RecycleError,
+    StorageError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error):
+    assert issubclass(error, ReproError)
+    assert issubclass(error, Exception)
+
+
+def test_single_except_clause_catches_library_failures(tiny_db):
+    """The documented contract: one except ReproError suffices."""
+    from repro.data.io import read_transactions
+    from repro.mining.hmine import mine_hmine
+
+    with pytest.raises(ReproError):
+        mine_hmine(tiny_db, 0)
+    with pytest.raises(ReproError):
+        read_transactions("/nonexistent/path/db.dat")
+
+
+def test_programming_errors_are_not_masked(tiny_db):
+    """Genuine bugs (wrong types) must not come out as ReproError."""
+    from repro.mining.hmine import mine_hmine
+
+    with pytest.raises(TypeError):
+        mine_hmine(tiny_db, None)  # type: ignore[arg-type]

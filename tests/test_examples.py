@@ -1,0 +1,69 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is imported as a module and its ``main()`` executed with
+stdout captured — the cheapest guarantee that the README's promised
+walkthroughs don't rot. The two heaviest examples (full benchmark-scale
+sweeps) are exercised through their building blocks elsewhere and skipped
+here to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "interactive_session",
+    "rule_tuning",
+    "quickstart",
+    "constrained_search",
+]
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{name} produced suspiciously little output"
+
+
+def test_quickstart_reports_identical_results(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "identical    : True" in out
+
+
+def test_interactive_session_paths(capsys):
+    load_example("interactive_session").main()
+    out = capsys.readouterr().out
+    assert "filter" in out and "recycle" in out
+
+
+def test_all_examples_exist_and_have_main():
+    expected = {
+        "quickstart", "interactive_session", "market_basket",
+        "incremental_update", "memory_limited", "rule_tuning",
+        "constrained_search",
+    }
+    found = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        source = (EXAMPLES_DIR / f"{name}.py").read_text(encoding="utf-8")
+        assert "def main()" in source, f"{name} lacks a main()"
+        assert '__main__' in source, f"{name} lacks a __main__ guard"

@@ -1,0 +1,53 @@
+"""Tests for the cost-counter accounting."""
+
+from __future__ import annotations
+
+from repro.metrics.counters import CostCounters
+
+
+class TestCounters:
+    def test_add_standard_field(self):
+        counters = CostCounters()
+        counters.add("item_visits", 5)
+        counters.add("item_visits")
+        assert counters.item_visits == 6
+
+    def test_add_extra_field(self):
+        counters = CostCounters()
+        counters.add("tidset_intersections", 3)
+        assert counters.as_dict()["tidset_intersections"] == 3
+
+    def test_merge(self):
+        a = CostCounters(item_visits=3)
+        a.add("custom", 1)
+        b = CostCounters(item_visits=4, disk_reads=2)
+        b.add("custom", 5)
+        a.merge(b)
+        assert a.item_visits == 7
+        assert a.disk_reads == 2
+        assert a.as_dict()["custom"] == 6
+
+    def test_totals(self):
+        counters = CostCounters(
+            item_visits=10, tuple_scans=5, projections=1,
+            bytes_read=100, bytes_written=50,
+        )
+        assert counters.total_work() == 16
+        assert counters.total_io() == 150
+
+    def test_reset(self):
+        counters = CostCounters(item_visits=9)
+        counters.add("custom", 2)
+        counters.reset()
+        assert counters.item_visits == 0
+        assert "custom" not in counters.as_dict()
+
+    def test_as_dict_includes_all_standard_fields(self):
+        keys = CostCounters().as_dict()
+        for name in (
+            "item_visits", "tuple_scans", "group_counts", "projections",
+            "single_group_enumerations", "patterns_emitted",
+            "containment_checks", "disk_reads", "disk_writes",
+            "bytes_read", "bytes_written",
+        ):
+            assert name in keys
