@@ -1,0 +1,125 @@
+"""One-shot backend comparison: python loops vs big-int bitmaps.
+
+Times the two counting backends against each other on the dense
+synthetic datasets (where vertical bitmaps pay off):
+
+* eclat mining — ``mine_eclat`` (per-element tidset intersections)
+  vs ``mine_eclat_bitset`` (one ``&`` + ``bit_count()`` per candidate);
+* compression claiming — ``compress(..., backend="python")`` vs
+  ``compress(..., backend="bitset")`` with H-Mine-mined old patterns
+  at the dataset's paper ``xi_old``.
+
+Each comparison asserts the results are bit-identical before reporting
+the speedup. Results go to ``BENCH_backends.json`` at the repo root.
+
+Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_bitset.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.core.compression import compress
+from repro.data.datasets import DATASETS
+from repro.mining.eclat import mine_eclat, mine_eclat_bitset
+from repro.mining.hmine import mine_hmine
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DENSE_DATASETS = [spec for spec in DATASETS.values() if spec.dense]
+REPEATS = 3
+SEED = 0
+
+
+def best_of(fn, *args, **kwargs):
+    """(best wall-clock seconds over REPEATS runs, last result)."""
+    best = math.inf
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_eclat(db, support: int) -> dict:
+    python_s, python_patterns = best_of(mine_eclat, db, support)
+    bitset_s, bitset_patterns = best_of(mine_eclat_bitset, db, support)
+    assert python_patterns == bitset_patterns, "backends disagree on patterns"
+    return {
+        "task": "eclat",
+        "min_support": support,
+        "patterns": len(python_patterns),
+        "python_seconds": round(python_s, 4),
+        "bitset_seconds": round(bitset_s, 4),
+        "speedup": round(python_s / bitset_s, 2),
+        "identical": True,
+    }
+
+
+def bench_compression(db, old_patterns) -> dict:
+    python_s, python_result = best_of(
+        compress, db, old_patterns, "mcp", backend="python"
+    )
+    bitset_s, bitset_result = best_of(
+        compress, db, old_patterns, "mcp", backend="bitset"
+    )
+    assert python_result.compressed.groups == bitset_result.compressed.groups, (
+        "backends disagree on groups"
+    )
+    return {
+        "task": "compression",
+        "old_patterns": len(old_patterns),
+        "groups": len(python_result.compressed.groups),
+        "python_seconds": round(python_s, 4),
+        "bitset_seconds": round(bitset_s, 4),
+        "speedup": round(python_s / bitset_s, 2),
+        "identical": True,
+    }
+
+
+def main() -> int:
+    results = []
+    for spec in DENSE_DATASETS:
+        db = spec.load(SEED)
+        xi_old = math.ceil(spec.xi_old * len(db))
+        xi_new = math.ceil(spec.xi_new_sweep[len(spec.xi_new_sweep) // 2] * len(db))
+        # The encoded index is built once per database and shared by every
+        # bitset consumer; warm it outside the timed region but report its
+        # one-off cost alongside the per-call numbers.
+        started = time.perf_counter()
+        db.encoded()
+        encode_seconds = time.perf_counter() - started
+
+        old_patterns = mine_hmine(db, xi_old)
+        for row in (bench_eclat(db, xi_new), bench_compression(db, old_patterns)):
+            row = {
+                "dataset": spec.name,
+                "transactions": len(db),
+                "encode_seconds": round(encode_seconds, 4),
+                **row,
+            }
+            results.append(row)
+            print(
+                f"{spec.name:>9} {row['task']:<11} "
+                f"python {row['python_seconds']:.3f}s  "
+                f"bitset {row['bitset_seconds']:.3f}s  "
+                f"speedup {row['speedup']:.2f}x"
+            )
+
+    out_path = REPO_ROOT / "BENCH_backends.json"
+    out_path.write_text(
+        json.dumps({"repeats": REPEATS, "seed": SEED, "results": results}, indent=2)
+        + "\n"
+    )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from repro.core import (
 from repro.rules import AssociationRule, filter_rules, generate_rules
 from repro.data import (
     DATASETS,
+    EncodedDatabase,
     Item,
     ItemTable,
     QuestParams,
@@ -77,20 +78,28 @@ from repro.errors import (
 )
 from repro.metrics import CostCounters
 from repro.mining import (
+    MINERS,
     FList,
+    MinerSpec,
     PatternSet,
+    get_miner,
+    iter_miners,
     mine_apriori,
     mine_eclat,
+    mine_eclat_bitset,
     mine_fpgrowth,
     mine_hmine,
     mine_top_k,
     mine_treeprojection,
+    miner_names,
+    register,
 )
 from repro.storage import (
     SimulatedDisk,
     megabytes,
     mine_hmine_with_memory_budget,
     mine_rp_with_memory_budget,
+    mine_with_memory_budget,
 )
 
 __version__ = "1.0.0"
@@ -108,7 +117,10 @@ __all__ = [
     "CostCounters",
     "DATASETS",
     "DataError",
+    "EncodedDatabase",
     "FList",
+    "MINERS",
+    "MinerSpec",
     "Item",
     "ItemTable",
     "ItemsRequired",
@@ -134,11 +146,14 @@ __all__ = [
     "fup_update",
     "generate_rules",
     "get_dataset",
+    "get_miner",
     "incremental_mine",
+    "iter_miners",
     "megabytes",
     "mine_apriori",
     "mine_constrained",
     "mine_eclat",
+    "mine_eclat_bitset",
     "mine_fpgrowth",
     "mine_hmine",
     "mine_hmine_with_memory_budget",
@@ -150,7 +165,10 @@ __all__ = [
     "mine_rp_with_memory_budget",
     "mine_top_k",
     "mine_treeprojection",
+    "mine_with_memory_budget",
+    "miner_names",
     "pumsb_like",
+    "register",
     "quest_database",
     "random_database",
     "read_patterns",

@@ -8,6 +8,7 @@ from repro.bench.experiments import (
     figure,
     figure_series,
     memory_limited_figure,
+    miner_sweep,
     observations,
     run_experiment,
     table3,
@@ -30,6 +31,7 @@ __all__ = [
     "figure_series",
     "format_table",
     "memory_limited_figure",
+    "miner_sweep",
     "observations",
     "prepare_workload",
     "render_chart",

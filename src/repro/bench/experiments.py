@@ -23,12 +23,10 @@ from repro.core.naive import mine_rp
 from repro.core.utility import STRATEGIES
 from repro.core.compression import compress
 from repro.errors import BenchmarkError
+from repro.mining.registry import iter_miners
 from repro.storage.disk import DiskModel, SimulatedDisk, transactions_byte_size
 from repro.storage.memory import estimate_transactions_bytes
-from repro.storage.projection import (
-    mine_hmine_with_memory_budget,
-    mine_rp_with_memory_budget,
-)
+from repro.storage.projection import mine_with_memory_budget
 
 #: Paper figure number -> (dataset, base algorithm). Figures 21-24 are the
 #: memory-limited family, handled by :func:`memory_limited_figure`.
@@ -229,14 +227,17 @@ def memory_limited_figure(
             base_disk = SimulatedDisk(counters=None)
             base = timed(
                 "hmine-budget",
-                lambda counters: mine_hmine_with_memory_budget(
-                    db, absolute, budget, disk=base_disk, counters=counters
+                lambda counters: mine_with_memory_budget(
+                    "hmine", "baseline", db, absolute, budget,
+                    disk=base_disk, counters=counters,
                 ),
             )
             rp_disk = SimulatedDisk(counters=None)
             mcp = timed(
                 "hm-mcp-budget",
-                lambda counters: mine_rp_with_memory_budget(
+                lambda counters: mine_with_memory_budget(
+                    "naive",
+                    "recycling",
                     workload.compressions["mcp"].compressed,
                     absolute,
                     budget,
@@ -426,6 +427,52 @@ def two_step_cold_start(
     return headers, rows
 
 
+def miner_sweep(dataset: str, seed: int = 0) -> tuple[list[str], list[list[object]]]:
+    """Every registered miner (both kinds, both backends) on one dataset.
+
+    Iterates the miner registry rather than any hard-coded name list, so
+    a newly registered miner shows up here with zero wiring. Baselines
+    run on the raw database, recycling miners on the MCP-compressed one;
+    every run is checked against the first for the correctness invariant.
+    The brute-force oracle is skipped when transactions exceed its
+    enumeration limit.
+    """
+    workload = prepare_workload(dataset, seed)
+    relative = workload.spec.xi_new_sweep[len(workload.spec.xi_new_sweep) // 2]
+    absolute = workload.absolute_support(relative)
+    headers = [
+        "miner", "kind", "backend", "memory_budget",
+        "seconds", "work", "patterns",
+    ]
+    rows: list[list[object]] = []
+    reference: MiningRun | None = None
+    max_len = max((len(tx) for tx in workload.db), default=0)
+    for spec in iter_miners():
+        if spec.name == "bruteforce" and max_len > 20:
+            continue
+        if spec.needs_compressed:
+            run = run_recycling(spec.name, workload.compressions["mcp"].compressed,
+                                absolute, "mcp")
+        else:
+            run = run_baseline(spec.name, workload.db, absolute)
+        if reference is None:
+            reference = run
+        else:
+            _check_same(reference, run, f"miner sweep {dataset}/{spec.kind}/{spec.name}")
+        rows.append(
+            [
+                spec.name,
+                spec.kind,
+                spec.backend,
+                "yes" if spec.supports_memory_budget else "-",
+                run.seconds,
+                _work(run),
+                run.pattern_count,
+            ]
+        )
+    return headers, rows
+
+
 def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[object]]]:
     """Dispatch an experiment by CLI-friendly name."""
     if name == "table3":
@@ -445,8 +492,10 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         return ablation_single_group_shortcut(name.rsplit("-", 1)[1], seed)
     if name.startswith("two-step-"):
         return two_step_cold_start(name.rsplit("-", 1)[1], seed)
+    if name.startswith("miners-"):
+        return miner_sweep(name.split("-", 1)[1], seed)
     raise BenchmarkError(
         f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
         "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
-        "two-step-<dataset>"
+        "two-step-<dataset>, miners-<dataset>"
     )

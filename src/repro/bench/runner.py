@@ -7,12 +7,11 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.compression import CompressedDatabase
-from repro.core.recycle import get_recycling_miner
 from repro.data.transactions import TransactionDatabase
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, MiningError, RecycleError
 from repro.metrics.counters import CostCounters
-from repro.mining import BASELINE_MINERS
 from repro.mining.patterns import PatternSet
+from repro.mining.registry import get_miner
 
 
 @dataclass(frozen=True)
@@ -41,13 +40,12 @@ def timed(label: str, fn: Callable[[CostCounters], PatternSet]) -> MiningRun:
 def run_baseline(
     algorithm: str, db: TransactionDatabase, min_support: int
 ) -> MiningRun:
-    """Time a non-recycling miner."""
+    """Time a non-recycling miner (resolved through the registry)."""
     try:
-        miner = BASELINE_MINERS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(BASELINE_MINERS))
-        raise BenchmarkError(f"unknown baseline {algorithm!r} (known: {known})") from None
-    return timed(algorithm, lambda counters: miner(db, min_support, counters))
+        spec = get_miner(algorithm, kind="baseline")
+    except MiningError as exc:
+        raise BenchmarkError(str(exc)) from None
+    return timed(algorithm, lambda counters: spec.fn(db, min_support, counters))
 
 
 def run_recycling(
@@ -62,9 +60,12 @@ def run_recycling(
     (Table 3) because it is shared across the whole sweep and can be
     pipelined into the previous round's projection.
     """
-    miner = get_recycling_miner(algorithm)
+    try:
+        spec = get_miner(algorithm, kind="recycling")
+    except (MiningError, RecycleError) as exc:
+        raise BenchmarkError(str(exc)) from None
     label = f"{algorithm}-{strategy_label}"
-    return timed(label, lambda counters: miner(compressed, min_support, counters))
+    return timed(label, lambda counters: spec.fn(compressed, min_support, counters))
 
 
 def speedup(baseline: MiningRun, candidate: MiningRun) -> float:

@@ -1,4 +1,4 @@
-"""Command-line interface: ``repro mine | recycle | compress | bench``.
+"""Command-line interface: ``repro mine | recycle | compress | bench | miners``.
 
 Examples::
 
@@ -8,11 +8,13 @@ Examples::
     repro recycle --dataset weather --old-support 0.05 --support 0.02
     repro compress --dataset connect4 --old-support 0.95 --strategy mlp
     repro bench --experiment table3
+    repro miners --kind baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 
@@ -25,7 +27,7 @@ from repro.data.io import read_patterns, read_transactions, write_patterns
 from repro.data.transactions import TransactionDatabase
 from repro.errors import ReproError
 from repro.metrics.counters import CostCounters
-from repro.mining import BASELINE_MINERS
+from repro.mining.registry import get_miner, iter_miners, miner_names
 
 
 def _load_database(args: argparse.Namespace) -> TransactionDatabase:
@@ -37,7 +39,18 @@ def _load_database(args: argparse.Namespace) -> TransactionDatabase:
 
 
 def _absolute_support(db: TransactionDatabase, value: float) -> int:
-    return max(1, int(value * len(db))) if value < 1 else int(value)
+    """Absolute threshold from a CLI support value.
+
+    Values in ``(0, 1]`` are relative fractions of the database (so
+    ``1.0`` means 100 percent, not absolute support 1); values above 1
+    are absolute counts. The relative threshold rounds up, matching
+    "support >= fraction" semantics.
+    """
+    if value <= 0:
+        raise ReproError(f"support must be positive, got {value}")
+    if value <= 1.0:
+        return max(1, math.ceil(value * len(db)))
+    return int(value)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -51,7 +64,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 def _command_mine(args: argparse.Namespace) -> int:
     db = _load_database(args)
     support = _absolute_support(db, args.support)
-    miner = BASELINE_MINERS[args.algorithm]
+    miner = get_miner(args.algorithm, kind="baseline").fn
     counters = CostCounters()
     started = time.perf_counter()
     patterns = miner(db, support, counters)
@@ -72,7 +85,7 @@ def _command_compress(args: argparse.Namespace) -> int:
     old_patterns = (
         read_patterns(args.patterns)
         if args.patterns
-        else BASELINE_MINERS["hmine"](db, old_support)
+        else get_miner("hmine", kind="baseline").fn(db, old_support)
     )
     result = compress(db, old_patterns, args.strategy)
     compressed = result.compressed
@@ -92,7 +105,7 @@ def _command_recycle(args: argparse.Namespace) -> int:
     old_patterns = (
         read_patterns(args.patterns)
         if args.patterns
-        else BASELINE_MINERS["hmine"](db, old_support)
+        else get_miner("hmine", kind="baseline").fn(db, old_support)
     )
     counters = CostCounters()
     started = time.perf_counter()
@@ -110,6 +123,23 @@ def _command_recycle(args: argparse.Namespace) -> int:
     if args.output:
         write_patterns(outcome.patterns, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _command_miners(args: argparse.Namespace) -> int:
+    headers = ["name", "kind", "backend", "input", "memory-budget", "description"]
+    rows: list[list[object]] = [
+        [
+            spec.name,
+            spec.kind,
+            spec.backend,
+            "compressed" if spec.needs_compressed else "database",
+            "yes" if spec.supports_memory_budget else "-",
+            spec.description,
+        ]
+        for spec in iter_miners(args.kind)
+    ]
+    print(render_report("registered miners", headers, rows))
     return 0
 
 
@@ -151,9 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     mine = commands.add_parser("mine", help="mine frequent patterns from scratch")
     _add_common_arguments(mine)
     mine.add_argument("--support", type=float, required=True,
-                      help="min support (fraction < 1 or absolute count)")
+                      help="min support (fraction <= 1.0, or absolute count)")
     mine.add_argument("--algorithm", default="hmine",
-                      choices=sorted(BASELINE_MINERS))
+                      choices=miner_names("baseline"))
     mine.add_argument("--output", help="write patterns to this file")
     mine.set_defaults(handler=_command_mine)
 
@@ -172,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="the relaxed (lower) support to mine at")
     recycle.add_argument("--patterns", help="pattern file (else mined with H-Mine)")
     recycle.add_argument("--algorithm", default="hmine",
-                         choices=("naive", "hmine", "fpgrowth", "treeprojection"))
+                         choices=miner_names("recycling"))
     recycle.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
     recycle.add_argument("--output", help="write patterns to this file")
     recycle.set_defaults(handler=_command_recycle)
@@ -181,9 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--experiment", required=True,
                        help="table3, fig9..fig24, observations, "
                             "ablation-strategies-<ds>, ablation-shortcut-<ds>, "
-                            "two-step-<ds>")
+                            "two-step-<ds>, miners-<ds>")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_command_bench)
+
+    miners = commands.add_parser(
+        "miners", help="list the miner registry and its capabilities"
+    )
+    miners.add_argument("--kind", choices=("baseline", "recycling"), default=None,
+                        help="restrict the listing to one kind")
+    miners.set_defaults(handler=_command_miners)
 
     plot = commands.add_parser(
         "plot", help="render a figure experiment as an ASCII chart"

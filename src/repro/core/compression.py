@@ -12,6 +12,13 @@ still-unclaimed tuple containing it. That is observationally identical to
 the paper's tuple-major loop (a tuple is always claimed by the first
 pattern in utility order that contains it) but avoids the
 ``|FP| x |DB|`` subset-test blow-up.
+
+Claiming has two backends. The default ``"bitset"`` backend reads the
+vertical index from the shared
+:class:`~repro.data.encoded.EncodedDatabase` (big-int bitmaps, so a
+pattern's candidate set is a few ``&`` operations and the unclaimed set
+is one mask); the ``"python"`` backend keeps the original per-call
+``{item: set[int]}`` index. Both produce bit-identical groups.
 """
 
 from __future__ import annotations
@@ -21,10 +28,14 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.utility import CompressionStrategy, get_strategy
+from repro.data.encoded import bit_positions
 from repro.data.transactions import TransactionDatabase
 from repro.errors import CompressionError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
+
+#: Claiming backends accepted by :func:`compress`.
+COMPRESSION_BACKENDS = ("bitset", "python")
 
 
 @dataclass(frozen=True)
@@ -125,29 +136,24 @@ class CompressionResult:
         return self.compressed.compression_ratio()
 
 
-def compress(
-    db: TransactionDatabase,
-    patterns: PatternSet,
-    strategy: CompressionStrategy | str = "mcp",
-    counters: CostCounters | None = None,
-    seed: int = 0,
-) -> CompressionResult:
-    """Compress ``db`` using ``patterns`` under the given strategy.
+def _claim_group(
+    db: TransactionDatabase, pattern_items: frozenset[int], claimed: list[int]
+) -> Group:
+    """Materialize the group of ``claimed`` positions under one pattern."""
+    return Group(
+        pattern=tuple(sorted(pattern_items)),
+        tids=tuple(db.tids[position] for position in claimed),
+        tails=tuple(
+            tuple(i for i in db[position] if i not in pattern_items)
+            for position in claimed
+        ),
+    )
 
-    Tuples containing none of the patterns land in the residual group
-    (pattern ``()``), exactly as the paper leaves unmatched tuples
-    uncompressed. An empty pattern set is rejected — recycling nothing is
-    a caller error (use the plain miners instead).
-    """
-    if isinstance(strategy, str):
-        strategy = get_strategy(strategy)
-    if len(patterns) == 0:
-        raise CompressionError("cannot compress with an empty pattern set")
 
-    started = time.perf_counter()
-    ranked = strategy.rank_patterns(patterns, len(db), seed=seed)
-
-    # Vertical index over the tuples: item -> set of positions.
+def _claim_groups_python(
+    db: TransactionDatabase, ranked: list[tuple[frozenset[int], int]]
+) -> tuple[list[Group], int]:
+    """Pattern-major claiming over a per-call ``{item: set[int]}`` index."""
     tid_index: dict[int, set[int]] = {}
     for position, tx in enumerate(db):
         for item in tx:
@@ -173,18 +179,7 @@ def compress(
         if not claimed:
             continue
         unclaimed.difference_update(claimed)
-        pattern_set = frozenset(pattern_items)
-        tails = tuple(
-            tuple(i for i in db[position] if i not in pattern_set)
-            for position in claimed
-        )
-        groups.append(
-            Group(
-                pattern=tuple(sorted(pattern_items)),
-                tids=tuple(db.tids[position] for position in claimed),
-                tails=tails,
-            )
-        )
+        groups.append(_claim_group(db, frozenset(pattern_items), claimed))
 
     if unclaimed:
         residual = sorted(unclaimed)
@@ -195,6 +190,90 @@ def compress(
                 tails=tuple(db[position] for position in residual),
             )
         )
+    return groups, checks
+
+
+def _claim_groups_bitset(
+    db: TransactionDatabase, ranked: list[tuple[frozenset[int], int]]
+) -> tuple[list[Group], int]:
+    """Pattern-major claiming over the shared encoded-database bitmaps.
+
+    Observationally identical to :func:`_claim_groups_python` — same
+    claims, same checks count — but a pattern's candidate tidset is a few
+    big-int ``&`` operations and the unclaimed set is one mask, so the
+    per-pattern work is word-parallel.
+    """
+    enc = db.encoded()
+    unclaimed = enc.universe
+    groups: list[Group] = []
+    checks = 0
+    for pattern_items, _support in ranked:
+        if not unclaimed:
+            break
+        # Ascending support = descending code; an item that never occurs
+        # sorts first in the python backend (empty tidset) and skips the
+        # pattern without charging a containment check.
+        if any(item not in enc for item in pattern_items):
+            continue
+        codes = sorted((enc.code_of(item) for item in pattern_items), reverse=True)
+        candidates = enc.bitmap(codes[0])
+        for code in codes[1:]:
+            candidates &= enc.bitmap(code)
+            if not candidates:
+                break
+        checks += 1
+        claimed_mask = candidates & unclaimed
+        if not claimed_mask:
+            continue
+        unclaimed &= ~claimed_mask
+        claimed = list(bit_positions(claimed_mask))
+        groups.append(_claim_group(db, frozenset(pattern_items), claimed))
+
+    if unclaimed:
+        residual = list(bit_positions(unclaimed))
+        groups.append(
+            Group(
+                pattern=(),
+                tids=tuple(db.tids[position] for position in residual),
+                tails=tuple(db[position] for position in residual),
+            )
+        )
+    return groups, checks
+
+
+def compress(
+    db: TransactionDatabase,
+    patterns: PatternSet,
+    strategy: CompressionStrategy | str = "mcp",
+    counters: CostCounters | None = None,
+    seed: int = 0,
+    backend: str = "bitset",
+) -> CompressionResult:
+    """Compress ``db`` using ``patterns`` under the given strategy.
+
+    Tuples containing none of the patterns land in the residual group
+    (pattern ``()``), exactly as the paper leaves unmatched tuples
+    uncompressed. An empty pattern set is rejected — recycling nothing is
+    a caller error (use the plain miners instead). ``backend`` selects
+    the claiming implementation (``"bitset"`` word-parallel default,
+    ``"python"`` reference loops); both yield bit-identical groups.
+    """
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    if len(patterns) == 0:
+        raise CompressionError("cannot compress with an empty pattern set")
+    if backend not in COMPRESSION_BACKENDS:
+        raise CompressionError(
+            f"unknown compression backend {backend!r} "
+            f"(known: {', '.join(COMPRESSION_BACKENDS)})"
+        )
+
+    started = time.perf_counter()
+    ranked = strategy.rank_patterns(patterns, len(db), seed=seed)
+    if backend == "bitset":
+        groups, checks = _claim_groups_bitset(db, ranked)
+    else:
+        groups, checks = _claim_groups_python(db, ranked)
 
     groups.sort(key=lambda g: (not g.pattern, -g.count, g.pattern))
     compressed = CompressedDatabase(groups, db)

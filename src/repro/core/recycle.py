@@ -5,8 +5,9 @@ This is the paper's two-phase pipeline as a function::
     patterns = recycle_mine(db, old_patterns, new_min_support,
                             algorithm="hmine", strategy="mcp")
 
-plus the registry of recycling miners the benchmarks sweep over
-(HM-MCP, HM-MLP, FP-MCP, FP-MLP, TP-MCP, TP-MLP and the naive RP-Mine).
+Recycling miners (HM-MCP, HM-MLP, FP-MCP, FP-MLP, TP-MCP, TP-MLP, the
+naive RP-Mine and Recycle-Eclat) resolve through the single
+:mod:`repro.mining.registry` under ``kind="recycling"``.
 """
 
 from __future__ import annotations
@@ -15,40 +16,27 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.compression import CompressedDatabase, CompressionResult, compress
-from repro.core.naive import mine_rp
-from repro.core.recycle_eclat import mine_recycle_eclat
-from repro.core.recycle_fptree import mine_recycle_fptree
-from repro.core.recycle_hmine import mine_recycle_hmine
-from repro.core.recycle_treeprojection import mine_recycle_treeprojection
 from repro.core.utility import CompressionStrategy
 from repro.data.transactions import TransactionDatabase
-from repro.errors import RecycleError
+from repro.errors import MiningError, RecycleError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
+from repro.mining.registry import MinerView, get_miner
 
 #: A recycling miner maps (compressed db, min support, counters) -> patterns.
 RecyclingMiner = Callable[[CompressedDatabase, int, CostCounters | None], PatternSet]
 
-RECYCLING_MINERS: dict[str, RecyclingMiner] = {
-    "naive": mine_rp,
-    "hmine": mine_recycle_hmine,
-    "fpgrowth": mine_recycle_fptree,
-    "treeprojection": mine_recycle_treeprojection,
-    # Our extension beyond the paper's three adaptations (see
-    # repro.core.recycle_eclat).
-    "eclat": mine_recycle_eclat,
-}
+#: Deprecated: live name->fn view over the registry's recycling miners.
+#: Use :func:`repro.mining.registry.get_miner` in new code.
+RECYCLING_MINERS = MinerView("recycling")
 
 
 def get_recycling_miner(algorithm: str) -> RecyclingMiner:
-    """Look up a recycling miner by base-algorithm name."""
+    """Look up a recycling miner by base-algorithm name via the registry."""
     try:
-        return RECYCLING_MINERS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(RECYCLING_MINERS))
-        raise RecycleError(
-            f"unknown recycling algorithm {algorithm!r} (known: {known})"
-        ) from None
+        return get_miner(algorithm, kind="recycling").fn
+    except MiningError as exc:
+        raise RecycleError(str(exc).replace("miner", "algorithm", 1)) from None
 
 
 @dataclass(frozen=True)

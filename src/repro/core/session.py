@@ -32,8 +32,8 @@ from repro.data.items import ItemTable
 from repro.data.transactions import TransactionDatabase
 from repro.errors import RecycleError
 from repro.metrics.counters import CostCounters
-from repro.mining import BASELINE_MINERS
 from repro.mining.patterns import PatternSet
+from repro.mining.registry import get_miner, has_miner, miner_names
 
 
 @dataclass(frozen=True)
@@ -58,9 +58,12 @@ class MiningSession:
         The database under investigation.
     algorithm:
         Base mining algorithm, both for the initial run and as the
-        recycling adaptation for later runs ("hmine", "fpgrowth",
-        "treeprojection"; "naive" recycles with RP-Mine but runs the
-        initial iteration with H-Mine).
+        recycling adaptation for later runs. Any baseline name in the
+        miner registry is accepted ("naive" recycles with RP-Mine but
+        runs the initial iteration with H-Mine); when the name has no
+        recycling adaptation the session falls back to its base name
+        (``eclat-bitset`` recycles with Recycle-Eclat) and finally to
+        Recycle-HM.
     strategy:
         Compression strategy for the recycling path ("mcp" or "mlp").
     item_table:
@@ -74,8 +77,8 @@ class MiningSession:
         strategy: str = "mcp",
         item_table: ItemTable | None = None,
     ) -> None:
-        if algorithm != "naive" and algorithm not in BASELINE_MINERS:
-            known = ", ".join(sorted(BASELINE_MINERS))
+        if algorithm != "naive" and not has_miner(algorithm, kind="baseline"):
+            known = ", ".join(miner_names("baseline"))
             raise RecycleError(f"unknown algorithm {algorithm!r} (known: {known}, naive)")
         self.db = db
         self.algorithm = algorithm
@@ -128,7 +131,7 @@ class MiningSession:
                     self.db,
                     self._support_patterns,
                     new_support,
-                    algorithm=self.algorithm,
+                    algorithm=self._recycling_algorithm(),
                     strategy=self.strategy,
                     counters=counters,
                 )
@@ -224,5 +227,18 @@ class MiningSession:
     # ------------------------------------------------------------------
     def _mine_baseline(self, min_support: int, counters: CostCounters) -> PatternSet:
         name = "hmine" if self.algorithm == "naive" else self.algorithm
-        miner = BASELINE_MINERS[name]
-        return miner(self.db, min_support, counters)
+        return get_miner(name, kind="baseline").mine(self.db, min_support, counters)
+
+    def _recycling_algorithm(self) -> str:
+        """The registry recycling name backing this session's algorithm.
+
+        Exact match first; then the base name before any ``-backend``
+        suffix; then Recycle-HM, so every baseline algorithm still gets a
+        sound (if not specialized) recycling path.
+        """
+        if has_miner(self.algorithm, kind="recycling"):
+            return self.algorithm
+        base = self.algorithm.split("-", 1)[0]
+        if has_miner(base, kind="recycling"):
+            return base
+        return "hmine"

@@ -1,5 +1,6 @@
 """Transaction data substrate: databases, catalogs, I/O and generators."""
 
+from repro.data.encoded import EncodedDatabase, bit_positions
 from repro.data.datasets import (
     DATASETS,
     DatasetSpec,
@@ -27,11 +28,13 @@ from repro.data.transactions import TransactionDatabase
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "EncodedDatabase",
     "Item",
     "ItemTable",
     "QuestParams",
     "TransactionDatabase",
     "attribute_value_database",
+    "bit_positions",
     "connect4_like",
     "forest_like",
     "get_dataset",

@@ -1,0 +1,168 @@
+"""The shared encoded (vertical-bitmap) view of a transaction database.
+
+Every vertical miner in the seed rebuilt its own ``{item: tidset}`` index
+from the horizontal tuples on every call, and every compression pass did
+the same for group claiming. :class:`EncodedDatabase` factors that work
+out: it is built once per :class:`~repro.data.transactions.TransactionDatabase`
+(memoized by :meth:`TransactionDatabase.encoded`) and gives every miner
+
+* a dense item encoding — items interned to codes ``0..m-1`` ordered by
+  *descending* support (ties broken by ascending item id), the order
+  projection-based miners want for their F-lists;
+* vertical tid-bitmaps — one Python big int per item, bit ``p`` set when
+  transaction at position ``p`` contains the item, so support counting is
+  ``int.bit_count()`` and tidset intersection is ``&`` — both word
+  parallel in CPython rather than per-element Python loops;
+* cached per-item supports, shared with
+  :meth:`TransactionDatabase.item_supports`.
+
+Bit positions index *positions* in the database (0-based), not the
+user-facing ``tids``; translate through ``db.tids`` when the original ids
+matter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.transactions import TransactionDatabase
+
+
+def bit_positions(mask: int) -> Iterator[int]:
+    """Yield the set bit indexes of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class EncodedDatabase:
+    """Dense item codes plus vertical tid-bitmaps for one database.
+
+    >>> from repro.data.transactions import TransactionDatabase
+    >>> enc = TransactionDatabase([[5, 9], [5], [9, 7]]).encoded()
+    >>> enc.item_of(0), enc.item_of(1), enc.item_of(2)
+    (5, 9, 7)
+    >>> bin(enc.bitmap_for_item(5))
+    '0b11'
+    >>> enc.support_of_items([5, 9])
+    1
+    """
+
+    __slots__ = ("_db", "_item_of", "_code_of", "_bitmaps", "_supports", "_universe")
+
+    def __init__(self, db: "TransactionDatabase") -> None:
+        self._db = db
+        supports = db.item_supports()
+        items = sorted(supports, key=lambda item: (-supports[item], item))
+        self._item_of: tuple[int, ...] = tuple(items)
+        self._code_of: dict[int, int] = {item: code for code, item in enumerate(items)}
+        bitmaps = [0] * len(items)
+        code_of = self._code_of
+        for position, tx in enumerate(db):
+            bit = 1 << position
+            for item in tx:
+                bitmaps[code_of[item]] |= bit
+        self._bitmaps: tuple[int, ...] = tuple(bitmaps)
+        self._supports: tuple[int, ...] = tuple(supports[item] for item in items)
+        self._universe: int = (1 << len(db)) - 1 if len(db) else 0
+
+    # ------------------------------------------------------------------
+    # container protocol (over item codes)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of transactions (bit width of every bitmap)."""
+        return len(self._db)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._code_of
+
+    def __repr__(self) -> str:
+        return f"EncodedDatabase(n={len(self)}, items={self.item_count()})"
+
+    @property
+    def db(self) -> "TransactionDatabase":
+        """The horizontal database this encoding was built from."""
+        return self._db
+
+    @property
+    def universe(self) -> int:
+        """Bitmap with one set bit per transaction (the empty pattern's tidset)."""
+        return self._universe
+
+    def item_count(self) -> int:
+        """Number of distinct items (= number of codes)."""
+        return len(self._item_of)
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def code_of(self, item: int) -> int:
+        """Dense code of ``item`` (codes ascend as support descends)."""
+        try:
+            return self._code_of[item]
+        except KeyError:
+            raise DataError(f"item {item!r} does not occur in the database") from None
+
+    def item_of(self, code: int) -> int:
+        """The original item id behind ``code``."""
+        return self._item_of[code]
+
+    def encode(self, items: Iterable[int]) -> tuple[int, ...]:
+        """Codes of ``items`` in ascending code (descending support) order."""
+        return tuple(sorted(self.code_of(item) for item in items))
+
+    def decode(self, codes: Iterable[int]) -> tuple[int, ...]:
+        """Item ids behind ``codes``, sorted by item id."""
+        return tuple(sorted(self._item_of[code] for code in codes))
+
+    # ------------------------------------------------------------------
+    # vertical counting
+    # ------------------------------------------------------------------
+    def bitmap(self, code: int) -> int:
+        """The tid-bitmap of the item with dense code ``code``."""
+        return self._bitmaps[code]
+
+    def bitmap_for_item(self, item: int) -> int:
+        """The tid-bitmap of ``item`` (0 when the item never occurs)."""
+        code = self._code_of.get(item)
+        return 0 if code is None else self._bitmaps[code]
+
+    def support(self, code: int) -> int:
+        """Cached support of the item with dense code ``code``."""
+        return self._supports[code]
+
+    def support_for_item(self, item: int) -> int:
+        """Support of ``item`` (0 when the item never occurs)."""
+        code = self._code_of.get(item)
+        return 0 if code is None else self._supports[code]
+
+    def pattern_bitmap(self, items: Iterable[int]) -> int:
+        """Intersection of the item bitmaps: the pattern's tidset.
+
+        Items are intersected in ascending-support order so the working
+        mask narrows as fast as possible; an item that never occurs
+        short-circuits to 0. The empty pattern maps to :attr:`universe`.
+        """
+        codes = []
+        for item in items:
+            code = self._code_of.get(item)
+            if code is None:
+                return 0
+            codes.append(code)
+        if not codes:
+            return self._universe
+        codes.sort(reverse=True)  # highest code = lowest support first
+        mask = self._bitmaps[codes[0]]
+        for code in codes[1:]:
+            mask &= self._bitmaps[code]
+            if not mask:
+                break
+        return mask
+
+    def support_of_items(self, items: Iterable[int]) -> int:
+        """Absolute support of an itemset via one bitmap intersection."""
+        return self.pattern_bitmap(items).bit_count()

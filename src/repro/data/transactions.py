@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.encoded import EncodedDatabase
 
 
 class TransactionDatabase:
@@ -59,6 +62,7 @@ class TransactionDatabase:
                 )
             self._tids = tuple(tids)
         self._item_supports: Counter[int] | None = None
+        self._encoded: "EncodedDatabase | None" = None
 
     # ------------------------------------------------------------------
     # container protocol
@@ -125,6 +129,19 @@ class TransactionDatabase:
     def total_items(self) -> int:
         """Total item occurrences across all transactions ("size" S_o)."""
         return sum(len(tx) for tx in self._transactions)
+
+    def encoded(self) -> "EncodedDatabase":
+        """The vertical-bitmap encoding of this database; built once.
+
+        Every miner and the compression pass share this one instance, so
+        the dense item interning and the tid-bitmaps are paid for a
+        single time per database no matter how many mining rounds run.
+        """
+        if self._encoded is None:
+            from repro.data.encoded import EncodedDatabase
+
+            self._encoded = EncodedDatabase(self)
+        return self._encoded
 
     def support(self, itemset: Iterable[int]) -> int:
         """Absolute support of ``itemset`` (exhaustive scan; use in tests)."""

@@ -10,7 +10,11 @@ read back and mined independently, recursing if it still does not fit.
 Two drivers share this logic: :func:`mine_hmine_with_memory_budget` for
 the plain H-Mine baseline and :func:`mine_rp_with_memory_budget` for the
 recycling miner over compressed groups — the H-Mine vs HM-MCP pairing of
-Figures 21–24.
+Figures 21–24. Both are registered as ``budget_fn`` capabilities in the
+miner registry; callers resolve them by name through
+:func:`mine_with_memory_budget` (a thin alias of
+:func:`repro.mining.registry.mine_with_budget`) instead of hard-coding
+the pairing.
 """
 
 from __future__ import annotations
@@ -34,6 +38,27 @@ from repro.mining.hmine import build_hstruct, mine_hmine_suffixes
 from repro.mining.patterns import PatternSet
 from repro.storage.disk import SimulatedDisk, cgroups_byte_size, transactions_byte_size
 from repro.storage.memory import estimate_rpstruct_bytes, estimate_transactions_bytes
+
+
+def mine_with_memory_budget(
+    algorithm: str,
+    kind: str,
+    source: TransactionDatabase | CompressedDatabase | list[CGroup],
+    min_support: int,
+    memory_budget_bytes: int,
+    **kwargs: object,
+) -> PatternSet:
+    """Run the memory-limited driver of a registered miner.
+
+    Resolves ``(kind, algorithm)`` through the miner registry and invokes
+    the spec's ``budget_fn``; raises :class:`~repro.errors.MiningError`
+    for miners without the memory-budget capability.
+    """
+    from repro.mining.registry import mine_with_budget
+
+    return mine_with_budget(
+        algorithm, kind, source, min_support, memory_budget_bytes, **kwargs
+    )
 
 
 def mine_hmine_with_memory_budget(

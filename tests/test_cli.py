@@ -41,6 +41,39 @@ class TestMine:
         assert main(["mine", "--input", str(path), "--support", "0.5"]) == 0
         assert "support 3" in capsys.readouterr().out
 
+    def test_support_one_is_hundred_percent(self, db_file, capsys):
+        """The boundary: 1.0 is a relative fraction, not absolute count 1."""
+        path, db = db_file
+        assert main(["mine", "--input", str(path), "--support", "1.0"]) == 0
+        assert f"support {len(db)}" in capsys.readouterr().out
+
+    def test_support_just_above_one_is_absolute(self, db_file, capsys):
+        path, _db = db_file
+        assert main(["mine", "--input", str(path), "--support", "2"]) == 0
+        assert "support 2" in capsys.readouterr().out
+
+    def test_relative_support_rounds_up(self, db_file, capsys):
+        # 0.4 of 6 transactions = 2.4 -> threshold 3 under >= semantics.
+        path, _db = db_file
+        assert main(["mine", "--input", str(path), "--support", "0.4"]) == 0
+        assert "support 3" in capsys.readouterr().out
+
+    def test_nonpositive_support_errors(self, db_file, capsys):
+        path, _db = db_file
+        assert main(["mine", "--input", str(path), "--support", "0"]) == 1
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_any_registered_baseline_accepted(self, db_file, capsys):
+        from repro.mining.registry import miner_names
+
+        path, _db = db_file
+        for name in miner_names("baseline"):
+            assert main(
+                ["mine", "--input", str(path), "--support", "3",
+                 "--algorithm", name]
+            ) == 0
+            assert f"{name}:" in capsys.readouterr().out
+
     def test_missing_source_errors(self, capsys):
         assert main(["mine", "--support", "2"]) == 1
         assert "error:" in capsys.readouterr().err
@@ -80,6 +113,34 @@ class TestRecycleAndCompress:
         code = main(["compress", "--input", str(path), "--old-support", "4"])
         assert code == 0
         assert "ratio" in capsys.readouterr().out
+
+    def test_any_registered_recycler_accepted(self, db_file, capsys):
+        from repro.mining.registry import miner_names
+
+        path, db = db_file
+        for name in miner_names("recycling"):
+            code = main(
+                ["recycle", "--input", str(path),
+                 "--old-support", "4", "--support", "2", "--algorithm", name]
+            )
+            assert code == 0
+            assert "patterns at support 2" in capsys.readouterr().out
+
+
+class TestMiners:
+    def test_lists_registry_with_capabilities(self, capsys):
+        assert main(["miners"]) == 0
+        out = capsys.readouterr().out
+        for name in ("apriori", "eclat-bitset", "hmine", "naive", "treeprojection"):
+            assert name in out
+        assert "bitset" in out
+        assert "compressed" in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["miners", "--kind", "recycling"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out
+        assert "apriori" not in out
 
 
 class TestParser:
