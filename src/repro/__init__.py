@@ -77,6 +77,12 @@ from repro.errors import (
     StorageError,
 )
 from repro.metrics import CostCounters
+from repro.service import (
+    MineRequest,
+    MineResponse,
+    MiningService,
+    PatternWarehouse,
+)
 from repro.mining import (
     MINERS,
     FList,
@@ -130,8 +136,12 @@ __all__ = [
     "MinLength",
     "MinSupport",
     "MiningError",
+    "MineRequest",
+    "MineResponse",
+    "MiningService",
     "MiningSession",
     "PatternSet",
+    "PatternWarehouse",
     "QuestParams",
     "RecycleError",
     "ReproError",

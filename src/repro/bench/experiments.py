@@ -473,6 +473,79 @@ def miner_sweep(dataset: str, seed: int = 0) -> tuple[list[str], list[list[objec
     return headers, rows
 
 
+def service_benchmark(
+    dataset: str,
+    seed: int = 0,
+    tenants: int = 3,
+    sweep: Sequence[float] | None = None,
+) -> tuple[list[str], list[list[object]]]:
+    """Warm-warehouse service vs cold mining on a multi-tenant sweep.
+
+    Replays an interleaved workload — ``tenants`` users each requesting
+    every support in the dataset's sweep, highest first — through a
+    warehouse-backed :class:`~repro.service.MiningService`, and charges
+    each request the machine-independent ``CostCounters.total_work()``.
+    The cold column is what a warehouse-less platform pays: a full
+    baseline mine per request (computed once per distinct support, since
+    cold mining is deterministic). The first request at each new lowest
+    support pays mine/recycle cost; every later tenant's request is a
+    filter hit, which is where the warehouse's amortization shows up.
+    """
+    from repro.service import MineRequest, MiningService, PatternWarehouse
+
+    workload = prepare_workload(dataset, seed)
+    db = workload.db
+    headers = [
+        "tenant", "xi_new", "abs_sup", "path", "feedstock",
+        "work_warm", "work_cold", "patterns",
+    ]
+    supports = sorted(
+        sweep if sweep is not None else workload.spec.xi_new_sweep, reverse=True
+    )
+    cold_runs = {
+        workload.absolute_support(rel): run_baseline(
+            "hmine", db, workload.absolute_support(rel)
+        )
+        for rel in supports
+    }
+    rows: list[list[object]] = []
+    total_warm = 0
+    total_cold = 0
+    warehouse = PatternWarehouse()
+    with MiningService(warehouse=warehouse, max_workers=1) as service:
+        for relative in supports:
+            absolute = workload.absolute_support(relative)
+            cold = cold_runs[absolute]
+            for tenant_index in range(tenants):
+                response = service.execute(
+                    MineRequest(db=db, support=absolute, tenant=f"user-{tenant_index}")
+                )
+                if response.patterns != cold.patterns:
+                    raise BenchmarkError(
+                        f"service {dataset} xi={relative}: warm result disagreed "
+                        f"with cold mining ({response.pattern_count} vs "
+                        f"{cold.pattern_count} patterns)"
+                    )
+                warm_work = response.counters.total_work() if not response.coalesced else 0
+                cold_work = _work(cold)
+                total_warm += warm_work
+                total_cold += cold_work
+                rows.append(
+                    [
+                        response.tenant,
+                        relative,
+                        absolute,
+                        response.path,
+                        response.feedstock_support or "-",
+                        warm_work,
+                        cold_work,
+                        response.pattern_count,
+                    ]
+                )
+    rows.append(["TOTAL", "-", "-", "-", "-", total_warm, total_cold, "-"])
+    return headers, rows
+
+
 def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[object]]]:
     """Dispatch an experiment by CLI-friendly name."""
     if name == "table3":
@@ -494,8 +567,10 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         return two_step_cold_start(name.rsplit("-", 1)[1], seed)
     if name.startswith("miners-"):
         return miner_sweep(name.split("-", 1)[1], seed)
+    if name.startswith("service-"):
+        return service_benchmark(name.split("-", 1)[1], seed)
     raise BenchmarkError(
         f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
         "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
-        "two-step-<dataset>, miners-<dataset>"
+        "two-step-<dataset>, miners-<dataset>, service-<dataset>"
     )

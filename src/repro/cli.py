@@ -1,4 +1,5 @@
-"""Command-line interface: ``repro mine | recycle | compress | bench | miners``.
+"""Command-line interface: ``repro mine | recycle | compress | bench | miners |
+serve-batch``.
 
 Examples::
 
@@ -9,6 +10,7 @@ Examples::
     repro compress --dataset connect4 --old-support 0.95 --strategy mlp
     repro bench --experiment table3
     repro miners --kind baseline
+    repro serve-batch --workload traffic.json --workers 8 --byte-budget 1000000
 """
 
 from __future__ import annotations
@@ -143,6 +145,58 @@ def _command_miners(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    from repro.service import MiningService, PatternWarehouse
+    from repro.service.workload import load_workload, serve_workload
+
+    requests = load_workload(args.workload)
+    warehouse = (
+        None
+        if args.cold
+        else PatternWarehouse(
+            byte_budget=args.byte_budget, directory=args.warehouse_dir
+        )
+    )
+    started = time.perf_counter()
+    with MiningService(warehouse=warehouse, max_workers=args.workers) as service:
+        responses = serve_workload(service, requests)
+        elapsed = time.perf_counter() - started
+        headers = [
+            "tenant", "support", "path", "feedstock",
+            "coalesced", "patterns", "work", "seconds",
+        ]
+        rows: list[list[object]] = [
+            [
+                response.tenant,
+                response.absolute_support,
+                response.path,
+                response.feedstock_support if response.feedstock_support else "-",
+                "yes" if response.coalesced else "-",
+                response.pattern_count,
+                response.counters.total_work(),
+                response.elapsed_seconds,
+            ]
+            for response in responses
+        ]
+        print(render_report(f"serve-batch: {args.workload}", headers, rows))
+        stats = service.stats.snapshot()
+    summary = (
+        f"{stats['requests']:.0f} requests in {elapsed:.2f}s — "
+        f"{stats['filter_hits']:.0f} filter / {stats['recycles']:.0f} recycle / "
+        f"{stats['misses']:.0f} mine, {stats['coalesced']:.0f} coalesced, "
+        f"p50 {stats['latency_p50_s']:.4f}s, p95 {stats['latency_p95_s']:.4f}s"
+    )
+    print(summary)
+    if warehouse is not None:
+        wh = warehouse.stats()
+        print(
+            f"warehouse: {wh['entries']} entries, {wh['stored_bytes']} bytes "
+            f"(budget {wh['byte_budget'] or 'unbounded'}), "
+            f"{wh['evictions']} evictions, {wh['rejections']} rejections"
+        )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     headers, rows = run_experiment(args.experiment, args.seed)
     print(render_report(f"experiment: {args.experiment}", headers, rows))
@@ -211,9 +265,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--experiment", required=True,
                        help="table3, fig9..fig24, observations, "
                             "ablation-strategies-<ds>, ablation-shortcut-<ds>, "
-                            "two-step-<ds>, miners-<ds>")
+                            "two-step-<ds>, miners-<ds>, service-<ds>")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_command_bench)
+
+    serve = commands.add_parser(
+        "serve-batch",
+        help="replay a JSON workload of multi-tenant requests through the "
+             "mining service",
+    )
+    serve.add_argument("--workload", required=True,
+                       help="workload JSON file (see repro.service.workload)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker-pool width")
+    serve.add_argument("--byte-budget", type=int, default=None,
+                       help="warehouse byte budget (default: unbounded)")
+    serve.add_argument("--warehouse-dir", default=None,
+                       help="directory for a disk-backed (persistent) warehouse")
+    serve.add_argument("--cold", action="store_true",
+                       help="disable the warehouse (every request mines)")
+    serve.set_defaults(handler=_command_serve_batch)
 
     miners = commands.add_parser(
         "miners", help="list the miner registry and its capabilities"

@@ -1,0 +1,126 @@
+"""The filter / recycle / mine decision, as a reusable planner.
+
+:class:`~repro.core.session.MiningSession` and the multi-tenant
+:class:`~repro.service.MiningService` face the same question on every
+request: given a cached support-level pattern set (the recycling
+feedstock) mined at some absolute support, what is the cheapest sound way
+to produce the pattern set at a *new* absolute support?  The answer is
+the paper's Section 2 case analysis:
+
+* ``new_support >= feedstock_support`` — the cached set is a superset of
+  the answer: **filter** it, no mining at all;
+* ``new_support < feedstock_support`` and the feedstock is non-empty —
+  **recycle**: compress the database with the cached patterns and run a
+  recycling miner;
+* no feedstock (or an empty one, which carries nothing to salvage) —
+  **mine** from scratch with a baseline algorithm.
+
+The planner is pure (no I/O, no mining); :func:`execute_plan` carries a
+plan out.  Splitting the two keeps the decision testable in isolation
+and lets callers report *what* they decided before paying for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.transactions import TransactionDatabase
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+from repro.mining.registry import get_miner, has_miner
+
+#: The three sound paths to a support-level pattern set.
+PATH_FILTER = "filter"
+PATH_RECYCLE = "recycle"
+PATH_MINE = "mine"
+
+
+@dataclass(frozen=True)
+class MiningPlan:
+    """A chosen path plus the feedstock it consumes (if any)."""
+
+    path: str  # PATH_FILTER | PATH_RECYCLE | PATH_MINE
+    feedstock: PatternSet | None = None
+    feedstock_support: int | None = None
+
+
+def plan_support_path(
+    new_support: int,
+    feedstock: PatternSet | None,
+    feedstock_support: int | None,
+) -> MiningPlan:
+    """Pick the cheapest sound path to the patterns at ``new_support``.
+
+    ``feedstock`` must be the *full* (unconstrained) frequent-pattern set
+    at ``feedstock_support`` — the invariant both the session cache and
+    the pattern warehouse maintain.
+    """
+    if feedstock is None or feedstock_support is None:
+        return MiningPlan(PATH_MINE)
+    if new_support >= feedstock_support:
+        return MiningPlan(PATH_FILTER, feedstock, feedstock_support)
+    if len(feedstock) == 0:
+        # The paper's conservation argument in reverse: the previous
+        # threshold admitted no patterns, so no resources were invested
+        # and nothing can be salvaged. Mine from scratch.
+        return MiningPlan(PATH_MINE)
+    return MiningPlan(PATH_RECYCLE, feedstock, feedstock_support)
+
+
+def execute_plan(
+    plan: MiningPlan,
+    db: TransactionDatabase,
+    new_support: int,
+    algorithm: str = "hmine",
+    strategy: str = "mcp",
+    counters: CostCounters | None = None,
+) -> PatternSet:
+    """Carry out ``plan``, returning the full pattern set at ``new_support``.
+
+    ``algorithm`` is a baseline name from the miner registry (or
+    ``"naive"``); the recycling path resolves it to a recycling
+    adaptation via :func:`resolve_recycling_algorithm`.
+    """
+    if plan.path == PATH_FILTER:
+        assert plan.feedstock is not None
+        return plan.feedstock.filter_min_support(new_support)
+    if plan.path == PATH_RECYCLE:
+        from repro.core.recycle import recycle_mine_detailed
+
+        assert plan.feedstock is not None
+        outcome = recycle_mine_detailed(
+            db,
+            plan.feedstock,
+            new_support,
+            algorithm=resolve_recycling_algorithm(algorithm),
+            strategy=strategy,
+            counters=counters,
+        )
+        return outcome.patterns
+    name = resolve_baseline_algorithm(algorithm)
+    return get_miner(name, kind="baseline").mine(db, new_support, counters)
+
+
+def resolve_baseline_algorithm(algorithm: str) -> str:
+    """The registry baseline name backing ``algorithm``.
+
+    ``"naive"`` has no baseline form (RP-Mine needs a compressed
+    database), so it mines its initial iteration with H-Mine.
+    """
+    return "hmine" if algorithm == "naive" else algorithm
+
+
+def resolve_recycling_algorithm(algorithm: str) -> str:
+    """The registry recycling name backing a baseline ``algorithm``.
+
+    Exact match first; then the base name before any ``-backend`` suffix
+    (``eclat-bitset`` recycles with Recycle-Eclat); then Recycle-HM, so
+    every baseline algorithm still gets a sound (if not specialized)
+    recycling path.
+    """
+    if has_miner(algorithm, kind="recycling"):
+        return algorithm
+    base = algorithm.split("-", 1)[0]
+    if has_miner(base, kind="recycling"):
+        return base
+    return "hmine"

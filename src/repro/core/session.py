@@ -27,13 +27,18 @@ from dataclasses import dataclass
 
 from repro.constraints.base import ChangeKind, ConstraintContext
 from repro.constraints.engine import ConstraintSet
-from repro.core.recycle import recycle_mine_detailed
+from repro.core.planner import (
+    PATH_MINE,
+    execute_plan,
+    plan_support_path,
+    resolve_recycling_algorithm,
+)
 from repro.data.items import ItemTable
 from repro.data.transactions import TransactionDatabase
-from repro.errors import RecycleError
+from repro.errors import DataError, RecycleError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
-from repro.mining.registry import get_miner, has_miner, miner_names
+from repro.mining.registry import has_miner, miner_names
 
 
 @dataclass(frozen=True)
@@ -110,32 +115,22 @@ class MiningSession:
         new_support = constraints.absolute_support(len(self.db))
 
         if self._constraints is None or self._support_patterns is None:
-            path, change = "initial", None
-            support_patterns = self._mine_baseline(new_support, counters)
+            change: ChangeKind | None = None
+            plan = plan_support_path(new_support, None, None)
         else:
             change = self._constraints.classify_change(constraints)
-            support_relaxed = new_support < (self._absolute_support or 0)
-            if change in (ChangeKind.SAME, ChangeKind.TIGHTENED) and not support_relaxed:
-                path = "filter"
-                support_patterns = self._support_patterns.filter_min_support(new_support)
-            elif len(self._support_patterns) == 0:
-                # Nothing to recycle (the previous threshold admitted no
-                # patterns) — the paper's conservation argument in
-                # reverse: no resources were spent, so nothing can be
-                # salvaged. Mine from scratch.
-                path = "initial"
-                support_patterns = self._mine_baseline(new_support, counters)
-            else:
-                path = "recycle"
-                outcome = recycle_mine_detailed(
-                    self.db,
-                    self._support_patterns,
-                    new_support,
-                    algorithm=self._recycling_algorithm(),
-                    strategy=self.strategy,
-                    counters=counters,
-                )
-                support_patterns = outcome.patterns
+            plan = plan_support_path(
+                new_support, self._support_patterns, self._absolute_support
+            )
+        path = "initial" if plan.path == PATH_MINE else plan.path
+        support_patterns = execute_plan(
+            plan,
+            self.db,
+            new_support,
+            algorithm=self.algorithm,
+            strategy=self.strategy,
+            counters=counters,
+        )
 
         result = constraints.filter_patterns(support_patterns, self.context)
         elapsed = time.perf_counter() - started
@@ -190,55 +185,29 @@ class MiningSession:
 
         The file is the plain pattern format of :mod:`repro.data.io`
         with a header comment recording the absolute support, so any
-        session (or any other tool) can pick it up.
+        session (or any other tool) can pick it up. The write is atomic:
+        the file is assembled in a sibling temp file and moved into place
+        with :func:`os.replace`, so a concurrent reader (or a crash) never
+        observes a half-written or header-less file.
         """
-        from pathlib import Path
-
-        from repro.data.io import write_patterns
+        from repro.data.io import write_patterns_with_support
 
         patterns = self.exported_patterns()
-        target = Path(path)
-        write_patterns(patterns, target)
-        existing = target.read_text(encoding="utf-8")
-        target.write_text(
-            f"# absolute_support={self._absolute_support}\n{existing}",
-            encoding="utf-8",
-        )
+        write_patterns_with_support(patterns, path, self._absolute_support or 0)
 
     def load_patterns(self, path: str) -> None:
         """Seed this session from a file written by :meth:`save_patterns`."""
-        from pathlib import Path
+        from repro.data.io import read_patterns_with_support
 
-        from repro.data.io import read_patterns
-
-        target = Path(path)
-        first_line = target.read_text(encoding="utf-8").splitlines()[0]
-        prefix = "# absolute_support="
-        if not first_line.startswith(prefix):
-            raise RecycleError(
-                f"{path} has no absolute_support header — was it written by "
-                "save_patterns()?"
-            )
-        absolute_support = int(first_line[len(prefix):])
-        self.seed_patterns(read_patterns(target), absolute_support)
+        try:
+            patterns, absolute_support = read_patterns_with_support(path)
+        except DataError as exc:
+            raise RecycleError(str(exc)) from None
+        self.seed_patterns(patterns, absolute_support)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _mine_baseline(self, min_support: int, counters: CostCounters) -> PatternSet:
-        name = "hmine" if self.algorithm == "naive" else self.algorithm
-        return get_miner(name, kind="baseline").mine(self.db, min_support, counters)
-
     def _recycling_algorithm(self) -> str:
-        """The registry recycling name backing this session's algorithm.
-
-        Exact match first; then the base name before any ``-backend``
-        suffix; then Recycle-HM, so every baseline algorithm still gets a
-        sound (if not specialized) recycling path.
-        """
-        if has_miner(self.algorithm, kind="recycling"):
-            return self.algorithm
-        base = self.algorithm.split("-", 1)[0]
-        if has_miner(base, kind="recycling"):
-            return base
-        return "hmine"
+        """The registry recycling name backing this session's algorithm."""
+        return resolve_recycling_algorithm(self.algorithm)

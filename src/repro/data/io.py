@@ -15,6 +15,8 @@ Two on-disk formats are supported:
 from __future__ import annotations
 
 import io
+import os
+import tempfile
 from pathlib import Path
 from typing import TextIO
 
@@ -106,3 +108,61 @@ def write_patterns(patterns: PatternSet, path: str | Path) -> None:
         for items, support in sorted(patterns.items(), key=lambda kv: (sorted(kv[0]), kv[1])):
             handle.write(" ".join(str(i) for i in sorted(items)))
             handle.write(f" : {support}\n")
+
+
+#: Header line prefix recording the threshold a pattern file was mined at.
+SUPPORT_HEADER_PREFIX = "# absolute_support="
+
+
+def write_patterns_with_support(
+    patterns: PatternSet, path: str | Path, absolute_support: int
+) -> None:
+    """Atomically persist a pattern set with its mining threshold.
+
+    The plain pattern format prefixed with a ``# absolute_support=N``
+    header, written once into a sibling temp file and moved into place
+    with :func:`os.replace` — a concurrent reader (or a crash mid-write)
+    never observes a partial or header-less file.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(f"{SUPPORT_HEADER_PREFIX}{absolute_support}\n")
+            for items, support in sorted(
+                patterns.items(), key=lambda kv: (sorted(kv[0]), kv[1])
+            ):
+                handle.write(" ".join(str(i) for i in sorted(items)))
+                handle.write(f" : {support}\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_patterns_with_support(path: str | Path) -> tuple[PatternSet, int]:
+    """Load a pattern set written by :func:`write_patterns_with_support`.
+
+    Only the first line is read to recover the threshold; the body is
+    then parsed by the ordinary pattern reader (which skips the header
+    comment).
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            first_line = handle.readline()
+    except OSError as exc:
+        raise DataError(f"cannot read pattern file {path}: {exc}") from exc
+    if not first_line.startswith(SUPPORT_HEADER_PREFIX):
+        raise DataError(
+            f"{path} has no absolute_support header — was it written by "
+            "write_patterns_with_support()?"
+        )
+    try:
+        absolute_support = int(first_line[len(SUPPORT_HEADER_PREFIX):])
+    except ValueError as exc:
+        raise DataError(f"{path}: malformed absolute_support header") from exc
+    return read_patterns(path), absolute_support

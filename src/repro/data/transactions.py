@@ -12,6 +12,7 @@ and set operations cheap and deterministic.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import Counter
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -63,6 +64,7 @@ class TransactionDatabase:
             self._tids = tuple(tids)
         self._item_supports: Counter[int] | None = None
         self._encoded: "EncodedDatabase | None" = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # container protocol
@@ -142,6 +144,25 @@ class TransactionDatabase:
 
             self._encoded = EncodedDatabase(self)
         return self._encoded
+
+    def fingerprint(self) -> str:
+        """A stable content hash of this database; computed once, cached.
+
+        Two databases with the same transactions and tids share a
+        fingerprint regardless of object identity or process, which is
+        what makes it usable as a persistent cache key (the pattern
+        warehouse keys stored results by it). The digest covers both the
+        normalized transactions and the explicit tids.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for tid, tx in zip(self._tids, self._transactions):
+                digest.update(str(tid).encode("ascii"))
+                digest.update(b":")
+                digest.update(" ".join(map(str, tx)).encode("ascii"))
+                digest.update(b"\n")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def support(self, itemset: Iterable[int]) -> int:
         """Absolute support of ``itemset`` (exhaustive scan; use in tests)."""

@@ -57,8 +57,14 @@ class CostCounters:
     _extra: dict[str, int] = field(default_factory=dict, repr=False)
 
     def add(self, name: str, amount: int = 1) -> None:
-        """Bump a counter by name (standard field or ad-hoc extra)."""
-        if hasattr(self, name) and name != "_extra":
+        """Bump a counter by name (standard field or ad-hoc extra).
+
+        Only true dataclass fields take the attribute fast path;
+        anything else (including names that collide with methods like
+        ``merge``) lands in ``_extra`` instead of clobbering a bound
+        method.
+        """
+        if name in _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + amount)
         else:
             self._extra[name] = self._extra.get(name, 0) + amount
@@ -95,3 +101,9 @@ class CostCounters:
                 continue
             setattr(self, f.name, 0)
         self._extra.clear()
+
+
+#: Names eligible for the attribute fast path in :meth:`CostCounters.add`.
+_COUNTER_FIELDS = frozenset(
+    f.name for f in fields(CostCounters) if f.name != "_extra"
+)

@@ -1,0 +1,332 @@
+"""The multi-tenant mining service.
+
+:class:`MiningService` is the front door of the multi-user platform from
+Section 2 of the paper: tenants submit :class:`MineRequest`s, a worker
+pool executes them, and a shared :class:`PatternWarehouse` turns one
+tenant's results into everyone else's feedstock. Each request is planned
+with the same :mod:`repro.core.planner` trichotomy the interactive
+session uses — filter a cached superset, recycle a cached subset, or
+mine from scratch — so the service never re-derives what the warehouse
+already paid for.
+
+Two service-level mechanisms ride on top:
+
+* **Single-flight coalescing.** Identical requests (same database
+  fingerprint, absolute support, algorithm and strategy) that are in
+  flight at the same time share one underlying computation; followers
+  attach to the leader's future instead of mining again. De-duplication
+  happens at submit time in the caller's thread, so even requests that
+  are still queued behind a busy pool coalesce.
+* **Service statistics.** Every response is folded into a thread-safe
+  :class:`ServiceStats`: per-path counts (filter hits / recycles /
+  misses), coalesced request count, underlying computation count, and
+  latency quantiles (p50/p95), plus the warehouse's own byte/eviction
+  accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.planner import PATH_FILTER, execute_plan, plan_support_path
+from repro.data.transactions import TransactionDatabase
+from repro.errors import ReproError
+from repro.metrics.counters import CostCounters
+from repro.mining.patterns import PatternSet
+from repro.mining.registry import has_miner
+from repro.service.warehouse import PatternWarehouse
+
+
+@dataclass(frozen=True)
+class MineRequest:
+    """One tenant's mining request.
+
+    ``support`` follows the library convention: values in ``(0, 1)`` are
+    relative fractions of the database, values ``>= 1`` are absolute
+    counts.
+    """
+
+    db: TransactionDatabase
+    support: float | int
+    tenant: str = "anonymous"
+    algorithm: str = "hmine"
+    strategy: str = "mcp"
+
+    def absolute_support(self) -> int:
+        """The absolute threshold this request resolves to."""
+        return self.db.relative_to_absolute(self.support)
+
+
+@dataclass(frozen=True)
+class MineResponse:
+    """What the service did for one request and what it cost.
+
+    ``counters`` belong to the underlying computation; a coalesced
+    follower shares its leader's counters (the work was paid once), which
+    is why aggregate accounting should sum over non-coalesced responses.
+    """
+
+    tenant: str
+    path: str  # "filter" | "recycle" | "mine"
+    absolute_support: int
+    feedstock_support: int | None
+    patterns: PatternSet
+    coalesced: bool
+    elapsed_seconds: float
+    counters: CostCounters
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self.patterns)
+
+
+@dataclass(frozen=True)
+class _Computation:
+    """The shared result of one underlying (leader) execution."""
+
+    path: str
+    absolute_support: int
+    feedstock_support: int | None
+    patterns: PatternSet
+    counters: CostCounters
+    elapsed_seconds: float
+
+
+class ServiceStats:
+    """Thread-safe aggregation of responses into service-level numbers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.filter_hits = 0
+        self.recycles = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.computations = 0
+        self.mine_runs = 0
+        self.recycle_runs = 0
+        self._latencies: list[float] = []
+
+    def record(self, response: MineResponse) -> None:
+        with self._lock:
+            self.requests += 1
+            if response.path == "filter":
+                self.filter_hits += 1
+            elif response.path == "recycle":
+                self.recycles += 1
+            else:
+                self.misses += 1
+            if response.coalesced:
+                self.coalesced += 1
+            else:
+                self.computations += 1
+                if response.path == "mine":
+                    self.mine_runs += 1
+                elif response.path == "recycle":
+                    self.recycle_runs += 1
+            self._latencies.append(response.elapsed_seconds)
+
+    def latency_quantile(self, q: float) -> float:
+        """The q-quantile (0 < q <= 1) of recorded latencies (0.0 if none)."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            ordered = sorted(self._latencies)
+            index = max(0, min(len(ordered) - 1, round(q * len(ordered)) - 1))
+            return ordered[index]
+
+    def snapshot(self) -> dict[str, float]:
+        """All aggregates as a plain dict (latencies as p50/p95)."""
+        p50 = self.latency_quantile(0.50)
+        p95 = self.latency_quantile(0.95)
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "filter_hits": self.filter_hits,
+                "recycles": self.recycles,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "computations": self.computations,
+                "mine_runs": self.mine_runs,
+                "recycle_runs": self.recycle_runs,
+                "latency_p50_s": p50,
+                "latency_p95_s": p95,
+            }
+
+
+class MiningService:
+    """A concurrent, warehouse-backed mining service.
+
+    Parameters
+    ----------
+    warehouse:
+        The shared pattern store; ``None`` disables caching entirely
+        (every non-coalesced request mines from scratch — the "cold"
+        baseline the benchmarks compare against).
+    max_workers:
+        Worker-pool width for concurrent requests.
+    """
+
+    def __init__(
+        self,
+        warehouse: PatternWarehouse | None = None,
+        max_workers: int = 4,
+    ) -> None:
+        if max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self.warehouse = warehouse
+        self.stats = ServiceStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-mining"
+        )
+        self._inflight: dict[tuple[str, int, str, str], Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
+    def submit(self, request: MineRequest) -> "Future[MineResponse]":
+        """Enqueue a request; returns a future resolving to its response.
+
+        Coalescing happens here, synchronously: if an identical request
+        is already in flight the returned future simply wraps the
+        leader's computation.
+        """
+        if self._closed:
+            raise ReproError("service is closed")
+        if request.algorithm != "naive" and not has_miner(
+            request.algorithm, kind="baseline"
+        ):
+            raise ReproError(f"unknown algorithm {request.algorithm!r}")
+        absolute = request.absolute_support()
+        key = (
+            request.db.fingerprint(),
+            absolute,
+            request.algorithm,
+            request.strategy,
+        )
+        with self._inflight_lock:
+            leader = self._inflight.get(key)
+            coalesced = leader is not None
+            if leader is None:
+                leader = Future()
+                self._inflight[key] = leader
+                self._executor.submit(self._run_leader, key, request, absolute, leader)
+
+        submitted = time.perf_counter()
+        response_future: "Future[MineResponse]" = Future()
+
+        def _deliver(done: "Future[_Computation]") -> None:
+            error = done.exception()
+            if error is not None:
+                response_future.set_exception(error)
+                return
+            computation = done.result()
+            response = MineResponse(
+                tenant=request.tenant,
+                path=computation.path,
+                absolute_support=computation.absolute_support,
+                feedstock_support=computation.feedstock_support,
+                patterns=computation.patterns,
+                coalesced=coalesced,
+                elapsed_seconds=(
+                    time.perf_counter() - submitted
+                    if coalesced
+                    else computation.elapsed_seconds
+                ),
+                counters=computation.counters,
+            )
+            self.stats.record(response)
+            response_future.set_result(response)
+
+        leader.add_done_callback(_deliver)
+        return response_future
+
+    def execute(self, request: MineRequest) -> MineResponse:
+        """Submit and wait: the blocking single-request entry point."""
+        return self.submit(request).result()
+
+    def execute_many(self, requests: list[MineRequest]) -> list[MineResponse]:
+        """Submit every request up front, then gather in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Finish in-flight work and shut the pool down."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_leader(
+        self,
+        key: tuple[str, int, str, str],
+        request: MineRequest,
+        absolute: int,
+        leader: "Future[_Computation]",
+    ) -> None:
+        try:
+            computation = self._compute(key[0], request, absolute)
+        except BaseException as exc:  # propagate to every waiter
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            leader.set_exception(exc)
+            return
+        # Drop the in-flight entry *before* resolving the future: a new
+        # identical request arriving after resolution must start a fresh
+        # computation (it will typically hit the warehouse instead).
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+        leader.set_result(computation)
+
+    def _compute(
+        self, fingerprint: str, request: MineRequest, absolute: int
+    ) -> _Computation:
+        counters = CostCounters()
+        started = time.perf_counter()
+        hit = (
+            self.warehouse.best_feedstock(fingerprint, absolute)
+            if self.warehouse is not None
+            else None
+        )
+        plan = plan_support_path(
+            absolute,
+            hit.patterns if hit is not None else None,
+            hit.absolute_support if hit is not None else None,
+        )
+        patterns = execute_plan(
+            plan,
+            request.db,
+            absolute,
+            algorithm=request.algorithm,
+            strategy=request.strategy,
+            counters=counters,
+        )
+        if self.warehouse is not None and plan.path != PATH_FILTER:
+            # Filter results are cheap derivations of an existing entry;
+            # storing them would only dilute the byte budget. Mined and
+            # recycled sets are new capital — shelve them.
+            self.warehouse.put(fingerprint, absolute, patterns)
+        elapsed = time.perf_counter() - started
+        return _Computation(
+            path=plan.path,
+            absolute_support=absolute,
+            feedstock_support=plan.feedstock_support,
+            patterns=patterns,
+            counters=counters,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,237 @@
+"""The pattern warehouse: a shared store of prior mining results.
+
+Section 2 of the paper describes a multi-user mining platform where one
+user's frequent patterns become another user's recycling feedstock.
+:class:`PatternWarehouse` is that shared shelf: a thread-safe store of
+support-level :class:`~repro.mining.patterns.PatternSet`s keyed by
+``(database fingerprint, absolute support)``.
+
+* **Keys are content-addressed.** The database half of the key is
+  :meth:`TransactionDatabase.fingerprint`, a stable content hash, so two
+  tenants mining the "same" database from different objects (or
+  processes) share entries.
+* **Eviction is byte-budgeted LRU.** Every entry is charged its modelled
+  on-disk size (:func:`repro.storage.disk.patterns_byte_size`, the same
+  int-based model as the simulated disk), and the least recently *used*
+  entries are dropped first whenever the total would exceed the budget.
+  An entry larger than the whole budget is rejected outright.
+* **Lookups return the best feedstock**, not just exact hits. A stored
+  set mined at support ``s`` serves a request at support ``r`` two ways:
+  ``s <= r`` means the stored set is a superset of the answer — *filter*
+  it (an exact hit is the trivial case); ``s > r`` means it is a subset —
+  *recycle* it (compress + re-mine). :meth:`best_feedstock` prefers the
+  cheapest option: the largest stored ``s <= r`` (smallest superset to
+  filter), then the smallest stored ``s > r`` (largest subset to
+  recycle), then a miss.
+* **Optionally disk-backed.** Given a directory, every entry is also
+  written as an atomic headered pattern file
+  (:func:`repro.data.io.write_patterns_with_support`) and reloaded on
+  construction, so a warehouse survives process restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.data.io import read_patterns_with_support, write_patterns_with_support
+from repro.errors import StorageError
+from repro.mining.patterns import PatternSet
+from repro.storage.disk import patterns_byte_size
+
+#: Filename pattern for disk-backed entries: <fingerprint>-<support>.patterns
+_FILE_SUFFIX = ".patterns"
+
+
+@dataclass(frozen=True)
+class WarehouseHit:
+    """A usable feedstock found for a requested (fingerprint, support)."""
+
+    fingerprint: str
+    absolute_support: int  # the support the stored set was mined at
+    patterns: PatternSet
+    exact: bool  # stored support == requested support
+
+
+class PatternWarehouse:
+    """A thread-safe, byte-budgeted LRU store of support-level pattern sets.
+
+    Parameters
+    ----------
+    byte_budget:
+        Maximum total modelled bytes of all stored entries; ``None``
+        means unbounded. The invariant ``stored_bytes() <= byte_budget``
+        holds after every operation.
+    directory:
+        Optional directory for persistence. Existing entries are loaded
+        on construction (in deterministic filename order, so reloading
+        is reproducible); puts write through and evictions delete.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int | None = None,
+        directory: str | Path | None = None,
+    ) -> None:
+        if byte_budget is not None and byte_budget <= 0:
+            raise StorageError(f"byte_budget must be positive, got {byte_budget}")
+        self.byte_budget = byte_budget
+        self.directory = Path(directory) if directory is not None else None
+        self._lock = threading.RLock()
+        # (fingerprint, support) -> (patterns, byte size); insertion order
+        # doubles as recency order (least recently used first).
+        self._entries: OrderedDict[tuple[str, int], tuple[PatternSet, int]] = (
+            OrderedDict()
+        )
+        self._stored_bytes = 0
+        self.evictions = 0
+        self.rejections = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._load_directory()
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, absolute_support: int, patterns: PatternSet) -> bool:
+        """Store a support-level pattern set; returns False if rejected.
+
+        ``patterns`` must be the *full* frequent-pattern set of the
+        fingerprinted database at ``absolute_support`` — the warehouse
+        invariant every lookup path relies on. Storing evicts least
+        recently used entries until the byte budget holds again.
+        """
+        size = patterns_byte_size(patterns)
+        with self._lock:
+            if self.byte_budget is not None and size > self.byte_budget:
+                self.rejections += 1
+                return False
+            key = (fingerprint, absolute_support)
+            existing = self._entries.pop(key, None)
+            if existing is not None:
+                self._stored_bytes -= existing[1]
+            self._entries[key] = (patterns, size)
+            self._stored_bytes += size
+            self._evict_to_budget()
+            if self.directory is not None:
+                write_patterns_with_support(
+                    patterns, self._entry_path(key), absolute_support
+                )
+        return True
+
+    def get(self, fingerprint: str, absolute_support: int) -> PatternSet | None:
+        """The exact entry for the key, or ``None`` (touches recency)."""
+        key = (fingerprint, absolute_support)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def best_feedstock(
+        self, fingerprint: str, absolute_support: int
+    ) -> WarehouseHit | None:
+        """The cheapest stored feedstock for a request at ``absolute_support``.
+
+        Preference order: largest stored support ``<= absolute_support``
+        (a superset — filtering it is exact and mining-free; an exact hit
+        is the degenerate case), then smallest stored support above it
+        (the closest subset — the best recycling feedstock), else
+        ``None``. The returned entry is touched for LRU purposes.
+        """
+        with self._lock:
+            below: int | None = None
+            above: int | None = None
+            for fp, support in self._entries:
+                if fp != fingerprint:
+                    continue
+                if support <= absolute_support:
+                    if below is None or support > below:
+                        below = support
+                elif above is None or support < above:
+                    above = support
+            chosen = below if below is not None else above
+            if chosen is None:
+                return None
+            key = (fingerprint, chosen)
+            self._entries.move_to_end(key)
+            return WarehouseHit(
+                fingerprint=fingerprint,
+                absolute_support=chosen,
+                patterns=self._entries[key][0],
+                exact=chosen == absolute_support,
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stored_bytes(self) -> int:
+        """Total modelled bytes of every stored entry."""
+        with self._lock:
+            return self._stored_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[tuple[str, int]]:
+        """All (fingerprint, support) keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Structural statistics (entry count, bytes, evictions, rejections)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "stored_bytes": self._stored_bytes,
+                "byte_budget": self.byte_budget or 0,
+                "evictions": self.evictions,
+                "rejections": self.rejections,
+            }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evict_to_budget(self) -> None:
+        if self.byte_budget is None:
+            return
+        while self._stored_bytes > self.byte_budget and self._entries:
+            key, (_patterns, size) = self._entries.popitem(last=False)
+            self._stored_bytes -= size
+            self.evictions += 1
+            if self.directory is not None:
+                self._entry_path(key).unlink(missing_ok=True)
+
+    def _entry_path(self, key: tuple[str, int]) -> Path:
+        fingerprint, support = key
+        assert self.directory is not None
+        return self.directory / f"{fingerprint}-{support}{_FILE_SUFFIX}"
+
+    def _load_directory(self) -> None:
+        assert self.directory is not None
+        for path in sorted(self.directory.glob(f"*{_FILE_SUFFIX}")):
+            stem = path.name[: -len(_FILE_SUFFIX)]
+            fingerprint, sep, support_text = stem.rpartition("-")
+            if not sep or not fingerprint:
+                continue  # not a warehouse file
+            patterns, absolute_support = read_patterns_with_support(path)
+            if str(absolute_support) != support_text:
+                raise StorageError(
+                    f"{path}: filename support {support_text!r} disagrees with "
+                    f"header {absolute_support}"
+                )
+            size = patterns_byte_size(patterns)
+            if self.byte_budget is not None and size > self.byte_budget:
+                self.rejections += 1
+                continue
+            self._entries[(fingerprint, absolute_support)] = (patterns, size)
+            self._stored_bytes += size
+        self._evict_to_budget()

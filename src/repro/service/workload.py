@@ -1,0 +1,103 @@
+"""JSON workloads: replayable multi-tenant request traces.
+
+A workload file describes an interleaved stream of mining requests from
+several users — the shared-platform traffic of Section 2 — so service
+behaviour (warehouse hits, coalescing, eviction pressure) can be
+reproduced from a plain text artifact::
+
+    {
+      "dataset": "weather",
+      "seed": 0,
+      "algorithm": "hmine",
+      "strategy": "mcp",
+      "requests": [
+        {"tenant": "alice", "support": 0.05},
+        {"tenant": "bob",   "support": 0.02},
+        {"tenant": "carol", "support": 0.05, "dataset": "forest"}
+      ]
+    }
+
+Top-level keys are defaults; each request may override ``dataset``,
+``seed``, ``algorithm`` and ``strategy``. Databases are resolved through
+the built-in dataset catalog and materialized once per (dataset, seed),
+so every request for the same dataset shares one
+:class:`TransactionDatabase` object (and therefore one fingerprint and
+one encoded form).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.datasets import DATASETS, get_dataset
+from repro.data.transactions import TransactionDatabase
+from repro.errors import DataError
+from repro.service.service import MineRequest, MineResponse, MiningService
+
+
+def parse_workload(spec: dict) -> list[MineRequest]:
+    """Build the request list from a decoded workload dict."""
+    if not isinstance(spec, dict):
+        raise DataError(f"workload must be a JSON object, got {type(spec).__name__}")
+    raw_requests = spec.get("requests")
+    if not isinstance(raw_requests, list) or not raw_requests:
+        raise DataError("workload needs a non-empty 'requests' list")
+    databases: dict[tuple[str, int], TransactionDatabase] = {}
+
+    def resolve_db(dataset: str, seed: int) -> TransactionDatabase:
+        if dataset not in DATASETS:
+            raise DataError(
+                f"unknown dataset {dataset!r} (known: {', '.join(sorted(DATASETS))})"
+            )
+        key = (dataset, seed)
+        if key not in databases:
+            databases[key] = get_dataset(dataset).load(seed)
+        return databases[key]
+
+    requests: list[MineRequest] = []
+    for index, entry in enumerate(raw_requests):
+        if not isinstance(entry, dict):
+            raise DataError(f"request #{index} must be an object, got {entry!r}")
+        dataset = entry.get("dataset", spec.get("dataset"))
+        if dataset is None:
+            raise DataError(f"request #{index} has no dataset (and no default)")
+        seed = int(entry.get("seed", spec.get("seed", 0)))
+        support = entry.get("support")
+        if support is None:
+            raise DataError(f"request #{index} has no support")
+        requests.append(
+            MineRequest(
+                db=resolve_db(str(dataset), seed),
+                support=float(support),
+                tenant=str(entry.get("tenant", f"user-{index}")),
+                algorithm=str(entry.get("algorithm", spec.get("algorithm", "hmine"))),
+                strategy=str(entry.get("strategy", spec.get("strategy", "mcp"))),
+            )
+        )
+    return requests
+
+
+def load_workload(path: str | Path) -> list[MineRequest]:
+    """Read and parse a workload JSON file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataError(f"cannot read workload file {path}: {exc}") from exc
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path} is not valid JSON: {exc}") from exc
+    return parse_workload(spec)
+
+
+def serve_workload(
+    service: MiningService, requests: list[MineRequest]
+) -> list[MineResponse]:
+    """Replay a workload through a service, preserving arrival order.
+
+    All requests are submitted up front (so concurrent duplicates can
+    coalesce, exactly like simultaneous users) and gathered in order.
+    """
+    return service.execute_many(requests)

@@ -40,6 +40,19 @@ def transactions_byte_size(transactions: list[tuple[int, ...]]) -> int:
     )
 
 
+def patterns_byte_size(patterns) -> int:
+    """Modelled on-disk size of a :class:`~repro.mining.patterns.PatternSet`.
+
+    Each pattern stores its items plus a support count and per-record
+    framing — the same int-based model as raw transactions, which is
+    what the pattern warehouse charges against its byte budget.
+    """
+    return sum(
+        len(items) * ITEM_BYTES + ITEM_BYTES + RECORD_OVERHEAD_BYTES
+        for items, _support in patterns.items()
+    )
+
+
 def cgroups_byte_size(groups) -> int:
     """Modelled on-disk size of a compressed (projected) database.
 

@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     figure_series,
     memory_limited_figure,
     run_experiment,
+    service_benchmark,
     table3,
     two_step_cold_start,
 )
@@ -107,3 +108,21 @@ class TestExperimentShapes:
             run_experiment("fig99")
         with pytest.raises(BenchmarkError, match="unknown experiment"):
             run_experiment("nonsense")
+
+    def test_service_benchmark_warm_beats_cold(self):
+        headers, rows = service_benchmark("connect4", tenants=2, sweep=(0.93, 0.91))
+        assert headers[0] == "tenant"
+        body, total = rows[:-1], rows[-1]
+        assert total[0] == "TOTAL"
+        warm_column = headers.index("work_warm")
+        cold_column = headers.index("work_cold")
+        # The acceptance claim: warm-warehouse requests are cheaper than
+        # cold mining on total_work — per request and in aggregate.
+        for row in body:
+            assert row[warm_column] <= row[cold_column]
+        assert total[warm_column] < total[cold_column]
+        # The first request mines; every later tenant at the same support
+        # is a filter hit off the warehouse.
+        paths = [row[3] for row in body]
+        assert paths[0] == "mine"
+        assert "filter" in paths

@@ -1,0 +1,74 @@
+"""Tests for the shared filter/recycle/mine planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import (
+    PATH_FILTER,
+    PATH_MINE,
+    PATH_RECYCLE,
+    execute_plan,
+    plan_support_path,
+    resolve_baseline_algorithm,
+    resolve_recycling_algorithm,
+)
+from repro.data.synthetic import QuestParams, quest_database
+from repro.mining.hmine import mine_hmine
+from repro.mining.patterns import PatternSet
+
+
+@pytest.fixture
+def db():
+    return quest_database(
+        QuestParams(n_transactions=120, n_items=30, avg_transaction_length=5), seed=4
+    )
+
+
+class TestPlanning:
+    def test_no_feedstock_mines(self):
+        assert plan_support_path(10, None, None).path == PATH_MINE
+
+    def test_equal_or_higher_support_filters(self, db):
+        feedstock = mine_hmine(db, 8)
+        assert plan_support_path(8, feedstock, 8).path == PATH_FILTER
+        assert plan_support_path(12, feedstock, 8).path == PATH_FILTER
+
+    def test_lower_support_recycles(self, db):
+        feedstock = mine_hmine(db, 8)
+        plan = plan_support_path(5, feedstock, 8)
+        assert plan.path == PATH_RECYCLE
+        assert plan.feedstock is feedstock
+        assert plan.feedstock_support == 8
+
+    def test_empty_feedstock_mines(self):
+        assert plan_support_path(5, PatternSet(), 200).path == PATH_MINE
+
+
+class TestExecution:
+    @pytest.mark.parametrize("new_support", [4, 8, 15])
+    def test_every_path_is_exact(self, db, new_support):
+        feedstock = mine_hmine(db, 8)
+        plan = plan_support_path(new_support, feedstock, 8)
+        result = execute_plan(plan, db, new_support)
+        assert result == mine_hmine(db, new_support)
+
+    def test_mine_path_honors_algorithm(self, db):
+        plan = plan_support_path(6, None, None)
+        result = execute_plan(plan, db, 6, algorithm="eclat")
+        assert result == mine_hmine(db, 6)
+
+
+class TestAlgorithmResolution:
+    def test_naive_initializes_with_hmine(self):
+        assert resolve_baseline_algorithm("naive") == "hmine"
+        assert resolve_baseline_algorithm("fpgrowth") == "fpgrowth"
+
+    def test_exact_recycling_match(self):
+        assert resolve_recycling_algorithm("hmine") == "hmine"
+
+    def test_backend_suffix_falls_back_to_base(self):
+        assert resolve_recycling_algorithm("eclat-bitset") == "eclat"
+
+    def test_unknown_falls_back_to_hmine(self):
+        assert resolve_recycling_algorithm("apriori") == "hmine"

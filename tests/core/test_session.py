@@ -123,6 +123,59 @@ class TestMultiUser:
         with pytest.raises(RecycleError, match="absolute_support header"):
             MiningSession(db).load_patterns(str(path))
 
+    def test_round_trip_preserves_pattern_set_exactly(self, db, tmp_path):
+        """save -> load must reproduce the identical PatternSet (and the
+        threshold), so the loaded session recycles from equal feedstock."""
+        path = str(tmp_path / "feedstock.patterns")
+        alice = MiningSession(db)
+        alice.mine(12)
+        alice.save_patterns(path)
+
+        bob = MiningSession(db)
+        bob.load_patterns(path)
+        assert bob.exported_patterns() == alice.exported_patterns()
+        assert bob._absolute_support == alice._absolute_support
+        assert bob.mine(5) == alice.mine(5)
+
+    def test_save_is_atomic_single_write(self, db, tmp_path):
+        """No temp files survive and the header is the first line of a
+        single complete write."""
+        path = tmp_path / "out.patterns"
+        session = MiningSession(db)
+        session.mine(12)
+        session.save_patterns(str(path))
+        assert [p.name for p in tmp_path.iterdir()] == ["out.patterns"]
+        first_line = path.read_text(encoding="utf-8").splitlines()[0]
+        assert first_line == "# absolute_support=12"
+
+    def test_load_rejects_empty_file(self, db, tmp_path):
+        path = tmp_path / "empty.patterns"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(RecycleError, match="absolute_support header"):
+            MiningSession(db).load_patterns(str(path))
+
+    def test_empty_set_round_trip_fails_at_seed_time(self, db, tmp_path):
+        """Saving a barren threshold produces a loadable file, but seeding
+        from its empty pattern set is rejected like any empty seed."""
+        path = str(tmp_path / "barren.patterns")
+        alice = MiningSession(db)
+        alice.mine(len(db) + 1)  # nothing frequent
+        alice.save_patterns(path)
+        with pytest.raises(RecycleError, match="empty"):
+            MiningSession(db).load_patterns(path)
+
+    def test_seeded_patterns_survive_relaxed_then_tightened_walk(self, db, tmp_path):
+        """Seeded feedstock must behave exactly like home-grown feedstock
+        across a relax -> tighten walk."""
+        alice = MiningSession(db)
+        alice.mine(15)
+        bob = MiningSession(db)
+        bob.seed_patterns(alice.exported_patterns(), absolute_support=15)
+        assert bob.mine(6) == mine_hmine(db, 6)
+        assert bob.history[-1].path == "recycle"
+        assert bob.mine(10) == mine_hmine(db, 10)
+        assert bob.history[-1].path == "filter"
+
 
 class TestReporting:
     def test_last_report(self, db):

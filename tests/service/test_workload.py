@@ -1,0 +1,95 @@
+"""Tests for JSON workload parsing and replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.mining.hmine import mine_hmine
+from repro.service import MiningService, PatternWarehouse
+from repro.service.workload import load_workload, parse_workload, serve_workload
+
+
+def _spec(**overrides) -> dict:
+    spec = {
+        "dataset": "weather",
+        "seed": 0,
+        "requests": [
+            {"tenant": "alice", "support": 0.5},
+            {"tenant": "bob", "support": 0.4},
+        ],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestParsing:
+    def test_defaults_flow_into_requests(self):
+        requests = parse_workload(_spec(algorithm="fpgrowth", strategy="mlp"))
+        assert [r.tenant for r in requests] == ["alice", "bob"]
+        assert all(r.algorithm == "fpgrowth" for r in requests)
+        assert all(r.strategy == "mlp" for r in requests)
+
+    def test_requests_share_one_database_object(self):
+        """Same (dataset, seed) must resolve to one object, so fingerprint
+        and encoding are computed once."""
+        requests = parse_workload(_spec())
+        assert requests[0].db is requests[1].db
+
+    def test_per_request_overrides(self):
+        spec = _spec()
+        spec["requests"].append(
+            {"tenant": "carol", "support": 0.9, "dataset": "connect4"}
+        )
+        requests = parse_workload(spec)
+        assert requests[2].db is not requests[0].db
+
+    def test_anonymous_tenants_get_indexed_names(self):
+        spec = _spec()
+        spec["requests"] = [{"support": 0.5}]
+        assert parse_workload(spec)[0].tenant == "user-0"
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"requests": []}, "non-empty"),
+            ({"requests": [{"tenant": "x"}]}, "no support"),
+            ({"requests": [{"support": 0.5, "dataset": "mars"}]}, "unknown dataset"),
+            ({"dataset": None, "requests": [{"support": 0.5}]}, "no dataset"),
+        ],
+    )
+    def test_malformed_workloads_rejected(self, mutation, message):
+        spec = _spec()
+        spec.update(mutation)
+        if spec.get("dataset") is None:
+            del spec["dataset"]
+        with pytest.raises(DataError, match=message):
+            parse_workload(spec)
+
+    def test_load_workload_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(_spec()), encoding="utf-8")
+        assert len(load_workload(path)) == 2
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DataError, match="not valid JSON"):
+            load_workload(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read"):
+            load_workload(tmp_path / "absent.json")
+
+
+class TestReplay:
+    def test_replay_is_exact_and_ordered(self):
+        requests = parse_workload(_spec())
+        with MiningService(warehouse=PatternWarehouse(), max_workers=2) as service:
+            responses = serve_workload(service, requests)
+        assert [r.tenant for r in responses] == ["alice", "bob"]
+        for request, response in zip(requests, responses):
+            expected = mine_hmine(request.db, request.absolute_support())
+            assert response.patterns == expected

@@ -143,11 +143,66 @@ class TestMiners:
         assert "apriori" not in out
 
 
+class TestServeBatch:
+    @pytest.fixture
+    def workload_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "dataset": "weather",
+                    "requests": [
+                        {"tenant": "alice", "support": 0.5},
+                        {"tenant": "bob", "support": 0.5},
+                        {"tenant": "carol", "support": 0.4},
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_replays_workload_with_warehouse(self, workload_file, capsys):
+        code = main(
+            ["serve-batch", "--workload", str(workload_file), "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for tenant in ("alice", "bob", "carol"):
+            assert tenant in out
+        assert "warehouse:" in out
+        assert "requests in" in out
+
+    def test_cold_mode_disables_warehouse(self, workload_file, capsys):
+        code = main(["serve-batch", "--workload", str(workload_file), "--cold"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warehouse:" not in out
+
+    def test_persistent_warehouse_directory(self, workload_file, tmp_path, capsys):
+        store = tmp_path / "warehouse"
+        code = main(
+            [
+                "serve-batch", "--workload", str(workload_file),
+                "--warehouse-dir", str(store),
+            ]
+        )
+        assert code == 0
+        assert list(store.glob("*.patterns"))
+
+    def test_missing_workload_errors_cleanly(self, tmp_path, capsys):
+        code = main(["serve-batch", "--workload", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("mine", "compress", "recycle", "bench"):
+        for command in ("mine", "compress", "recycle", "bench", "serve-batch"):
             assert command in text
 
     def test_bench_requires_experiment(self):

@@ -17,6 +17,27 @@ class TestCounters:
         counters.add("tidset_intersections", 3)
         assert counters.as_dict()["tidset_intersections"] == 3
 
+    def test_add_method_name_goes_to_extra_not_clobbering(self):
+        """Regression: add("merge") used to overwrite the bound method
+        because hasattr() is true for methods."""
+        counters = CostCounters()
+        counters.add("merge", 2)
+        counters.add("add")
+        assert callable(counters.merge)
+        assert callable(counters.add)
+        assert counters.as_dict()["merge"] == 2
+        assert counters.as_dict()["add"] == 1
+        # The instance still merges correctly afterwards.
+        other = CostCounters(item_visits=1)
+        counters.merge(other)
+        assert counters.item_visits == 1
+
+    def test_add_private_extra_name_is_safe(self):
+        counters = CostCounters()
+        counters.add("_extra", 3)
+        assert counters.as_dict()["_extra"] == 3
+        assert isinstance(counters._extra, dict)
+
     def test_merge(self):
         a = CostCounters(item_visits=3)
         a.add("custom", 1)
