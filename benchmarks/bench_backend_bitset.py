@@ -7,7 +7,12 @@ synthetic datasets (where vertical bitmaps pay off):
   vs ``mine_eclat_bitset`` (one ``&`` + ``bit_count()`` per candidate);
 * compression claiming — ``compress(..., backend="python")`` vs
   ``compress(..., backend="bitset")`` with H-Mine-mined old patterns
-  at the dataset's paper ``xi_old``.
+  at the dataset's paper ``xi_old``;
+* grouped mining — the shared Phase 2 group kernel
+  (``mine_grouped``) over the MCP-compressed database at the middle
+  sweep ``xi_new``, python tail-scans vs vertical member-mask bitmaps.
+  This one runs on *all* datasets (sparse included) since the kernel
+  auto-selects a backend and both must stay bit-identical everywhere.
 
 Each comparison asserts the results are bit-identical before reporting
 the speedup. Results go to ``BENCH_backends.json`` at the repo root.
@@ -29,9 +34,10 @@ from repro.core.compression import compress
 from repro.data.datasets import DATASETS
 from repro.mining.eclat import mine_eclat, mine_eclat_bitset
 from repro.mining.hmine import mine_hmine
+from repro.storage.projection import mine_grouped
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-DENSE_DATASETS = [spec for spec in DATASETS.values() if spec.dense]
+ALL_DATASETS = list(DATASETS.values())
 REPEATS = 3
 SEED = 0
 
@@ -83,9 +89,29 @@ def bench_compression(db, old_patterns) -> dict:
     }
 
 
+def bench_grouped(compressed, support: int) -> dict:
+    python_s, python_patterns = best_of(
+        mine_grouped, compressed, support, backend="python"
+    )
+    bitset_s, bitset_patterns = best_of(
+        mine_grouped, compressed, support, backend="bitset"
+    )
+    assert python_patterns == bitset_patterns, "backends disagree on patterns"
+    return {
+        "task": "grouped",
+        "min_support": support,
+        "groups": len(compressed.groups),
+        "patterns": len(python_patterns),
+        "python_seconds": round(python_s, 4),
+        "bitset_seconds": round(bitset_s, 4),
+        "speedup": round(python_s / bitset_s, 2),
+        "identical": True,
+    }
+
+
 def main() -> int:
     results = []
-    for spec in DENSE_DATASETS:
+    for spec in ALL_DATASETS:
         db = spec.load(SEED)
         xi_old = math.ceil(spec.xi_old * len(db))
         xi_new = math.ceil(spec.xi_new_sweep[len(spec.xi_new_sweep) // 2] * len(db))
@@ -97,7 +123,13 @@ def main() -> int:
         encode_seconds = time.perf_counter() - started
 
         old_patterns = mine_hmine(db, xi_old)
-        for row in (bench_eclat(db, xi_new), bench_compression(db, old_patterns)):
+        compressed = compress(db, old_patterns, "mcp").compressed
+        tasks = (
+            [bench_eclat(db, xi_new), bench_compression(db, old_patterns)]
+            if spec.dense
+            else []
+        ) + [bench_grouped(compressed, xi_new)]
+        for row in tasks:
             row = {
                 "dataset": spec.name,
                 "transactions": len(db),

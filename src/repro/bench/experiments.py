@@ -26,7 +26,7 @@ from repro.errors import BenchmarkError
 from repro.mining.registry import iter_miners
 from repro.storage.disk import DiskModel, SimulatedDisk, transactions_byte_size
 from repro.storage.memory import estimate_transactions_bytes
-from repro.storage.projection import mine_with_memory_budget
+from repro.storage.projection import mine_grouped, mine_with_memory_budget
 
 #: Paper figure number -> (dataset, base algorithm). Figures 21-24 are the
 #: memory-limited family, handled by :func:`memory_limited_figure`.
@@ -473,6 +473,55 @@ def miner_sweep(dataset: str, seed: int = 0) -> tuple[list[str], list[list[objec
     return headers, rows
 
 
+def grouped_kernel_benchmark(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """Group-kernel backend comparison: python loops vs vertical bitmaps.
+
+    Runs the shared Phase 2 kernel (:func:`mine_grouped`) over the
+    MCP-compressed database with both backends at every sweep support.
+    The result sets must be bit-identical — the backends differ only in
+    how they count group members (tail scans vs one ``&`` + popcount per
+    candidate), which is where dense data rewards the vertical layout.
+    """
+    workload = prepare_workload(dataset, seed)
+    compressed = workload.compressions["mcp"].compressed
+    headers = [
+        "xi_new", "abs_sup", "patterns",
+        "python_s", "bitset_s", "speedup",
+        "shortcut_fires", "group_counts",
+    ]
+    rows: list[list[object]] = []
+    for relative in workload.spec.xi_new_sweep:
+        absolute = workload.absolute_support(relative)
+        python_run = timed(
+            "grouped-python",
+            lambda counters: mine_grouped(
+                compressed, absolute, counters, backend="python"
+            ),
+        )
+        bitset_run = timed(
+            "grouped-bitset",
+            lambda counters: mine_grouped(
+                compressed, absolute, counters, backend="bitset"
+            ),
+        )
+        _check_same(python_run, bitset_run, f"grouped {dataset} xi={relative}")
+        rows.append(
+            [
+                relative,
+                absolute,
+                python_run.pattern_count,
+                python_run.seconds,
+                bitset_run.seconds,
+                speedup(python_run, bitset_run),
+                bitset_run.counters.single_group_enumerations,
+                bitset_run.counters.group_counts,
+            ]
+        )
+    return headers, rows
+
+
 def service_benchmark(
     dataset: str,
     seed: int = 0,
@@ -569,8 +618,11 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         return miner_sweep(name.split("-", 1)[1], seed)
     if name.startswith("service-"):
         return service_benchmark(name.split("-", 1)[1], seed)
+    if name.startswith("grouped-"):
+        return grouped_kernel_benchmark(name.split("-", 1)[1], seed)
     raise BenchmarkError(
         f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
         "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
-        "two-step-<dataset>, miners-<dataset>, service-<dataset>"
+        "two-step-<dataset>, miners-<dataset>, service-<dataset>, "
+        "grouped-<dataset>"
     )

@@ -6,7 +6,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.compression import CompressedDatabase
+from repro.core.groups import GroupedDatabase
 from repro.data.transactions import TransactionDatabase
 from repro.errors import BenchmarkError, MiningError, RecycleError
 from repro.metrics.counters import CostCounters
@@ -50,7 +50,7 @@ def run_baseline(
 
 def run_recycling(
     algorithm: str,
-    compressed: CompressedDatabase,
+    compressed: GroupedDatabase,
     min_support: int,
     strategy_label: str,
 ) -> MiningRun:
@@ -58,14 +58,16 @@ def run_recycling(
 
     Compression is excluded on purpose: the paper charges it separately
     (Table 3) because it is shared across the whole sweep and can be
-    pipelined into the previous round's projection.
+    pipelined into the previous round's projection. Dispatch goes through
+    :meth:`MinerSpec.mine` so the registry's capability flags (group
+    coercion) apply uniformly.
     """
     try:
         spec = get_miner(algorithm, kind="recycling")
     except (MiningError, RecycleError) as exc:
         raise BenchmarkError(str(exc)) from None
     label = f"{algorithm}-{strategy_label}"
-    return timed(label, lambda counters: spec.fn(compressed, min_support, counters))
+    return timed(label, lambda counters: spec.mine(compressed, min_support, counters))
 
 
 def speedup(baseline: MiningRun, candidate: MiningRun) -> float:

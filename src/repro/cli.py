@@ -89,7 +89,7 @@ def _command_compress(args: argparse.Namespace) -> int:
         if args.patterns
         else get_miner("hmine", kind="baseline").fn(db, old_support)
     )
-    result = compress(db, old_patterns, args.strategy)
+    result = compress(db, old_patterns, args.strategy, backend=args.backend)
     compressed = result.compressed
     print(
         f"{args.strategy.upper()}: {len(compressed.groups)} groups, "
@@ -114,6 +114,7 @@ def _command_recycle(args: argparse.Namespace) -> int:
     outcome = recycle_mine_detailed(
         db, old_patterns, support,
         algorithm=args.algorithm, strategy=args.strategy, counters=counters,
+        backend=args.backend,
     )
     elapsed = time.perf_counter() - started
     print(
@@ -247,6 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="support whose patterns compress the database")
     comp.add_argument("--patterns", help="pattern file (else mined with H-Mine)")
     comp.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
+    comp.add_argument("--backend", default="bitset", choices=("bitset", "python"),
+                      help="group-claiming / mining backend")
     comp.set_defaults(handler=_command_compress)
 
     recycle = commands.add_parser("recycle", help="compress + mine (two phases)")
@@ -258,6 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     recycle.add_argument("--algorithm", default="hmine",
                          choices=miner_names("recycling"))
     recycle.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
+    recycle.add_argument("--backend", default="bitset", choices=("bitset", "python"),
+                         help="group-claiming / mining backend")
     recycle.add_argument("--output", help="write patterns to this file")
     recycle.set_defaults(handler=_command_recycle)
 
@@ -265,7 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--experiment", required=True,
                        help="table3, fig9..fig24, observations, "
                             "ablation-strategies-<ds>, ablation-shortcut-<ds>, "
-                            "two-step-<ds>, miners-<ds>, service-<ds>")
+                            "two-step-<ds>, miners-<ds>, service-<ds>, "
+                            "grouped-<ds>")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_command_bench)
 

@@ -1,22 +1,24 @@
-"""The paper's contribution: recycling frequent patterns via compression."""
+"""The paper's contribution: recycling frequent patterns via compression.
+
+The Phase 2 miners (``naive`` and the four ``recycle_*`` modules) are
+exposed lazily (PEP 562): they import the shared group kernel from
+:mod:`repro.storage.projection`, which in turn imports
+:mod:`repro.core.groups` — eager imports here would re-enter that chain
+whenever :mod:`repro.storage` is imported first. Everything cycle-free
+(groups, compression, filtering, sessions, utilities) stays eager.
+"""
 
 from repro.core.compression import (
     CompressedDatabase,
     CompressionResult,
-    Group,
     compress,
 )
 from repro.core.filtering import can_filter, filter_min_support, filter_tightened
+from repro.core.groups import Group, GroupedDatabase, to_grouped
 from repro.core.incremental import (
     apply_deletions,
     apply_insertions,
     incremental_mine,
-)
-from repro.core.naive import (
-    CGroup,
-    compressed_to_cgroups,
-    database_to_cgroups,
-    mine_rp,
 )
 from repro.core.recycle import (
     RECYCLING_MINERS,
@@ -26,10 +28,6 @@ from repro.core.recycle import (
     recycle_mine_detailed,
 )
 from repro.core.fup import fup_update
-from repro.core.recycle_eclat import mine_recycle_eclat
-from repro.core.recycle_fptree import mine_recycle_fptree
-from repro.core.recycle_hmine import mine_recycle_hmine
-from repro.core.recycle_treeprojection import mine_recycle_treeprojection
 from repro.core.session import IterationReport, MiningSession
 from repro.core.utility import (
     ARRIVAL,
@@ -43,6 +41,39 @@ from repro.core.utility import (
     mlp_utility,
 )
 
+#: name -> (module, attribute) for the lazily exposed Phase 2 miners and
+#: the deprecated compatibility shims (which warn on use).
+_LAZY_EXPORTS = {
+    "CGroup": ("repro.core.naive", "CGroup"),
+    "compressed_to_cgroups": ("repro.core.naive", "compressed_to_cgroups"),
+    "database_to_cgroups": ("repro.core.naive", "database_to_cgroups"),
+    "mine_rp": ("repro.core.naive", "mine_rp"),
+    "mine_recycle_eclat": ("repro.core.recycle_eclat", "mine_recycle_eclat"),
+    "mine_recycle_fptree": ("repro.core.recycle_fptree", "mine_recycle_fptree"),
+    "mine_recycle_hmine": ("repro.core.recycle_hmine", "mine_recycle_hmine"),
+    "mine_recycle_treeprojection": (
+        "repro.core.recycle_treeprojection",
+        "mine_recycle_treeprojection",
+    ),
+}
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
     "ARRIVAL",
     "CGroup",
@@ -50,6 +81,7 @@ __all__ = [
     "CompressionResult",
     "CompressionStrategy",
     "Group",
+    "GroupedDatabase",
     "IterationReport",
     "MCP",
     "MLP",
@@ -79,4 +111,5 @@ __all__ = [
     "mlp_utility",
     "recycle_mine",
     "recycle_mine_detailed",
+    "to_grouped",
 ]

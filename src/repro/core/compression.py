@@ -4,7 +4,11 @@ Implements the compression algorithm of Figure 1: patterns are ranked by
 utility (see :mod:`repro.core.utility`); each tuple is compressed by the
 highest-utility pattern it contains, becoming *(group pattern, outlying
 items)*; tuples compressed by the same pattern form a
-:class:`Group` with a count — the paper's Table 2.
+:class:`~repro.core.groups.Group` with a count — the paper's Table 2.
+Compression emits the unified group representation directly: every
+group carries its member tids, full tails and the member-position mask
+that the bitset mining kernel in :mod:`repro.storage.projection` keys
+on, wrapped in a :class:`~repro.core.groups.GroupedDatabase`.
 
 The scan order here is pattern-major rather than tuple-major: for each
 pattern in utility order we claim, via a vertical tid index, every
@@ -18,15 +22,16 @@ vertical index from the shared
 :class:`~repro.data.encoded.EncodedDatabase` (big-int bitmaps, so a
 pattern's candidate set is a few ``&`` operations and the unclaimed set
 is one mask); the ``"python"`` backend keeps the original per-call
-``{item: set[int]}`` index. Both produce bit-identical groups.
+``{item: set[int]}`` index. Both produce bit-identical groups,
+member masks included.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
 
+from repro.core.groups import Group, GroupedDatabase
 from repro.core.utility import CompressionStrategy, get_strategy
 from repro.data.encoded import bit_positions
 from repro.data.transactions import TransactionDatabase
@@ -37,94 +42,16 @@ from repro.mining.patterns import PatternSet
 #: Claiming backends accepted by :func:`compress`.
 COMPRESSION_BACKENDS = ("bitset", "python")
 
-
-@dataclass(frozen=True)
-class Group:
-    """Tuples compressed by one pattern.
-
-    ``pattern`` is the group head (sorted item ids; empty for the residual
-    group of unmatched tuples). ``tails`` holds each member tuple's
-    outlying items — the items left after removing the pattern — parallel
-    to ``tids``. The group's count is ``len(tails)``.
-    """
-
-    pattern: tuple[int, ...]
-    tids: tuple[int, ...]
-    tails: tuple[tuple[int, ...], ...]
-
-    @property
-    def count(self) -> int:
-        """Number of tuples in the group (``X.C`` restricted to members)."""
-        return len(self.tails)
-
-    def stored_items(self) -> int:
-        """Item slots this group occupies: pattern once + every tail."""
-        return len(self.pattern) + sum(len(tail) for tail in self.tails)
-
-
-class CompressedDatabase:
-    """The output of compression: groups plus original-size bookkeeping.
-
-    Iterating yields :class:`Group` objects, the non-empty-pattern groups
-    first (largest first) and the residual group (pattern ``()``) last
-    when present.
-    """
-
-    def __init__(self, groups: list[Group], original: TransactionDatabase) -> None:
-        self._groups = tuple(groups)
-        self._original_size = original.total_items()
-        self._original_count = len(original)
-
-    def __iter__(self) -> Iterator[Group]:
-        return iter(self._groups)
-
-    def __len__(self) -> int:
-        return len(self._groups)
-
-    @property
-    def groups(self) -> tuple[Group, ...]:
-        return self._groups
-
-    @property
-    def original_tuple_count(self) -> int:
-        """Tuple count of the database that was compressed."""
-        return self._original_count
-
-    def tuple_count(self) -> int:
-        """Total tuples across groups (must equal the original count)."""
-        return sum(group.count for group in self._groups)
-
-    def grouped_tuple_count(self) -> int:
-        """Tuples actually covered by a non-empty pattern."""
-        return sum(g.count for g in self._groups if g.pattern)
-
-    def size(self) -> int:
-        """Stored item slots S_c (patterns stored once, plus all tails)."""
-        return sum(group.stored_items() for group in self._groups)
-
-    def compression_ratio(self) -> float:
-        """``R = S_c / S_o`` (Section 5.1); smaller means better compression."""
-        if self._original_size == 0:
-            return 1.0
-        return self.size() / self._original_size
-
-    def decompress(self) -> TransactionDatabase:
-        """Reconstruct the original database (tuples in tid order)."""
-        rows: list[tuple[int, tuple[int, ...]]] = []
-        for group in self._groups:
-            for tid, tail in zip(group.tids, group.tails):
-                rows.append((tid, tuple(group.pattern) + tail))
-        rows.sort()
-        return TransactionDatabase(
-            [items for _tid, items in rows], tids=[tid for tid, _items in rows]
-        )
+#: The compressed-database container now lives in :mod:`repro.core.groups`
+#: under its unified name; this alias keeps the historical import working.
+CompressedDatabase = GroupedDatabase
 
 
 @dataclass(frozen=True)
 class CompressionResult:
     """A compressed database plus the statistics Table 3 reports."""
 
-    compressed: CompressedDatabase
+    compressed: GroupedDatabase
     strategy: str
     pattern_count: int
     max_pattern_length: int
@@ -140,13 +67,32 @@ def _claim_group(
     db: TransactionDatabase, pattern_items: frozenset[int], claimed: list[int]
 ) -> Group:
     """Materialize the group of ``claimed`` positions under one pattern."""
+    mask = 0
+    for position in claimed:
+        mask |= 1 << position
     return Group(
         pattern=tuple(sorted(pattern_items)),
-        tids=tuple(db.tids[position] for position in claimed),
+        count=len(claimed),
         tails=tuple(
             tuple(i for i in db[position] if i not in pattern_items)
             for position in claimed
         ),
+        tids=tuple(db.tids[position] for position in claimed),
+        mask=mask,
+    )
+
+
+def _residual_group(db: TransactionDatabase, residual: list[int]) -> Group:
+    """The pattern-``()`` group of tuples no pattern claimed."""
+    mask = 0
+    for position in residual:
+        mask |= 1 << position
+    return Group(
+        pattern=(),
+        count=len(residual),
+        tails=tuple(db[position] for position in residual),
+        tids=tuple(db.tids[position] for position in residual),
+        mask=mask,
     )
 
 
@@ -182,14 +128,7 @@ def _claim_groups_python(
         groups.append(_claim_group(db, frozenset(pattern_items), claimed))
 
     if unclaimed:
-        residual = sorted(unclaimed)
-        groups.append(
-            Group(
-                pattern=(),
-                tids=tuple(db.tids[position] for position in residual),
-                tails=tuple(db[position] for position in residual),
-            )
-        )
+        groups.append(_residual_group(db, sorted(unclaimed)))
     return groups, checks
 
 
@@ -230,14 +169,7 @@ def _claim_groups_bitset(
         groups.append(_claim_group(db, frozenset(pattern_items), claimed))
 
     if unclaimed:
-        residual = list(bit_positions(unclaimed))
-        groups.append(
-            Group(
-                pattern=(),
-                tids=tuple(db.tids[position] for position in residual),
-                tails=tuple(db[position] for position in residual),
-            )
-        )
+        groups.append(_residual_group(db, list(bit_positions(unclaimed))))
     return groups, checks
 
 
@@ -276,7 +208,7 @@ def compress(
         groups, checks = _claim_groups_python(db, ranked)
 
     groups.sort(key=lambda g: (not g.pattern, -g.count, g.pattern))
-    compressed = CompressedDatabase(groups, db)
+    compressed = GroupedDatabase(groups, db)
     elapsed = time.perf_counter() - started
     if counters is not None:
         counters.containment_checks += checks

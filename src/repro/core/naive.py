@@ -1,260 +1,105 @@
 """Phase 2 of recycling: the naive RP-Mine algorithm (Figure 3).
 
-Mines a :class:`~repro.core.compression.CompressedDatabase` with the
-projected-database technique, exploiting groups two ways (Section 3.1):
+Historically this module owned the whole projected-database engine and
+its private ``CGroup`` row type. Both now live in the shared group
+kernel: the unified :class:`~repro.core.groups.Group` replaces
+``CGroup`` and the counting/normalization/projection/Lemma 3.1 machinery
+sits in :mod:`repro.storage.projection`, where every recycling miner
+shares it. This module keeps the classic :func:`mine_rp` entry point (a
+thin veneer over :func:`~repro.storage.projection.mine_grouped`), the
+kernel re-exports its tests and callers always imported from here, and
+``DeprecationWarning`` shims for the retired names (``CGroup``,
+``compressed_to_cgroups``, ``database_to_cgroups``).
 
-* **Counting.** A group's pattern items are counted once with the group
-  count instead of tuple by tuple — scanning the group head ``fgc:3``
-  adds 3 to ``f``, ``g`` and ``c`` in one step.
-* **Projection.** A group whose pattern contains the pivot item moves to
-  the projected database wholesale; only its (short) tails are touched.
-
-Plus the single-group shortcut (Lemma 3.1): when every locally frequent
-item occurrence lies inside one group's pattern, the remaining patterns
-are exactly the non-empty combinations of those items, each with the
-group count as support — no further recursion.
-
-The working representation is a list of :class:`CGroup` rows
-``(pattern, count, tails)`` with items rank-sorted by the current level's
-F-list; the same representation is reused by the memory-limited driver.
+The two group exploits of Section 3.1 — counting a group's pattern items
+once with the group count, and moving whole groups during projection —
+plus the single-group shortcut (Lemma 3.1) are documented on the kernel
+itself.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from itertools import combinations
+import warnings
+from typing import TYPE_CHECKING
 
-from repro.core.compression import CompressedDatabase
-from repro.data.transactions import TransactionDatabase
-from repro.errors import MiningError
+from repro.core.groups import Group, GroupedDatabase, to_grouped
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 
+# Kernel helpers re-exported for compatibility: these were defined here
+# before the shared kernel existed and tests/miners import them from
+# this module. They operate on the unified Group rows unchanged.
+from repro.storage.projection import (  # noqa: F401  (re-exports)
+    count_group_supports,
+    enumerate_single_group,
+    find_single_group,
+    mine_grouped,
+    normalize_groups,
+    project_groups,
+)
 
-@dataclass(frozen=True)
-class CGroup:
-    """One group of a (projected) compressed database.
-
-    ``pattern`` items are implicitly present in all ``count`` member
-    tuples; ``tails`` lists the non-empty outlying suffixes (a member
-    whose tail projected away entirely is represented by ``count``
-    exceeding ``len(tails)``).
-    """
-
-    pattern: tuple[int, ...]
-    count: int
-    tails: tuple[tuple[int, ...], ...]
-
-
-def count_group_supports(groups: list[CGroup], stats: dict[str, int]) -> Counter[int]:
-    """Item supports over a projected compressed database."""
-    counts: Counter[int] = Counter()
-    for group in groups:
-        if group.pattern:
-            stats["group_counts"] += 1
-            for item in group.pattern:
-                counts[item] += group.count
-        for tail in group.tails:
-            stats["tuple_scans"] += 1
-            stats["item_visits"] += len(tail)
-            counts.update(tail)
-    return counts
-
-
-def normalize_groups(
-    groups: list[CGroup], frequent_rank: dict[int, int], stats: dict[str, int]
-) -> list[CGroup]:
-    """Drop infrequent items, rank-sort, and merge groups by pattern."""
-    merged: dict[tuple[int, ...], list] = {}
-    for group in groups:
-        pattern = tuple(
-            sorted(
-                (i for i in group.pattern if i in frequent_rank),
-                key=frequent_rank.__getitem__,
-            )
-        )
-        tails = []
-        for tail in group.tails:
-            filtered = tuple(
-                sorted(
-                    (i for i in tail if i in frequent_rank),
-                    key=frequent_rank.__getitem__,
-                )
-            )
-            if filtered:
-                tails.append(filtered)
-        if not pattern and not tails:
-            continue
-        slot = merged.setdefault(pattern, [0, []])
-        slot[0] += group.count
-        slot[1].extend(tails)
-    return [
-        CGroup(pattern, count, tuple(tails)) for pattern, (count, tails) in merged.items()
-    ]
-
-
-def project_groups(
-    groups: list[CGroup], item: int, rank: dict[int, int], stats: dict[str, int]
-) -> list[CGroup]:
-    """The ``item``-projected compressed database.
-
-    Keeps, for every tuple containing ``item``, the items ranked strictly
-    after it. Groups whose pattern contains ``item`` move wholesale
-    (their count is preserved); otherwise only tails containing ``item``
-    move, regrouped under their truncated pattern.
-    """
-    pivot = rank[item]
-    merged: dict[tuple[int, ...], list] = {}
-    stats["projections"] += 1
-    for group in groups:
-        if item in group.pattern:
-            stats["group_counts"] += 1
-            new_pattern = tuple(i for i in group.pattern if rank[i] > pivot)
-            new_tails = []
-            for tail in group.tails:
-                stats["tuple_scans"] += 1
-                truncated = tuple(i for i in tail if rank[i] > pivot)
-                stats["item_visits"] += len(truncated)
-                if truncated:
-                    new_tails.append(truncated)
-            if not new_pattern and not new_tails:
-                continue
-            slot = merged.setdefault(new_pattern, [0, []])
-            slot[0] += group.count
-            slot[1].extend(new_tails)
-        else:
-            truncated_pattern: tuple[int, ...] | None = None
-            for tail in group.tails:
-                stats["tuple_scans"] += 1
-                if item not in tail:
-                    continue
-                if truncated_pattern is None:
-                    truncated_pattern = tuple(
-                        i for i in group.pattern if rank[i] > pivot
-                    )
-                truncated_tail = tuple(i for i in tail if rank[i] > pivot)
-                stats["item_visits"] += len(truncated_tail)
-                if not truncated_pattern and not truncated_tail:
-                    continue
-                slot = merged.setdefault(truncated_pattern, [0, []])
-                slot[0] += 1
-                if truncated_tail:
-                    slot[1].append(truncated_tail)
-    return [
-        CGroup(pattern, count, tuple(tails)) for pattern, (count, tails) in merged.items()
-    ]
-
-
-def _single_group_shortcut(
-    groups: list[CGroup], frequent: list[int], min_support: int
-) -> CGroup | None:
-    """Return the lone group when Lemma 3.1 applies, else ``None``.
-
-    The lemma requires every occurrence of every (locally) frequent item
-    to lie in a single group's pattern: one group, no tails, and the
-    pattern covering all frequent items.
-    """
-    if len(groups) != 1:
-        return None
-    group = groups[0]
-    if group.tails or group.count < min_support:
-        return None
-    if set(group.pattern) != set(frequent):
-        return None
-    return group
-
-
-class _RPMineEngine:
-    def __init__(self, min_support: int, single_group_shortcut: bool = True) -> None:
-        self.min_support = min_support
-        self.single_group_shortcut = single_group_shortcut
-        self.result = PatternSet()
-        self.stats = {
-            "group_counts": 0,
-            "tuple_scans": 0,
-            "item_visits": 0,
-            "projections": 0,
-            "single_group_enumerations": 0,
-        }
-
-    def mine(self, groups: list[CGroup], prefix: tuple[int, ...]) -> None:
-        """RP-InMemory (Figure 3): mine all frequent extensions of prefix."""
-        counts = count_group_supports(groups, self.stats)
-        frequent = [i for i, c in counts.items() if c >= self.min_support]
-        if not frequent:
-            return
-        # Local F-list: ascending support, ties by item id.
-        frequent.sort(key=lambda i: (counts[i], i))
-        rank = {item: pos for pos, item in enumerate(frequent)}
-        normalized = normalize_groups(groups, rank, self.stats)
-
-        shortcut = (
-            _single_group_shortcut(normalized, frequent, self.min_support)
-            if self.single_group_shortcut
-            else None
-        )
-        if shortcut is not None:
-            self.stats["single_group_enumerations"] += 1
-            for size in range(1, len(shortcut.pattern) + 1):
-                for combo in combinations(shortcut.pattern, size):
-                    self.result.add(prefix + combo, shortcut.count)
-            return
-
-        for item in frequent:
-            new_prefix = prefix + (item,)
-            self.result.add(new_prefix, counts[item])
-            projected = project_groups(normalized, item, rank, self.stats)
-            if projected:
-                self.mine(projected, new_prefix)
-
-
-def compressed_to_cgroups(compressed: CompressedDatabase) -> list[CGroup]:
-    """Convert a freshly compressed database to the mining representation."""
-    groups: list[CGroup] = []
-    for group in compressed:
-        tails = tuple(tail for tail in group.tails if tail)
-        groups.append(CGroup(tuple(group.pattern), group.count, tails))
-    return groups
-
-
-def database_to_cgroups(db: TransactionDatabase) -> list[CGroup]:
-    """Wrap an uncompressed database as all-residual groups.
-
-    Mining this through RP-Mine must give identical results to any plain
-    miner — a useful degenerate case for tests.
-    """
-    tails = tuple(tx for tx in db if tx)
-    return [CGroup((), len(db), tails)]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.transactions import TransactionDatabase
 
 
 def mine_rp(
-    compressed: CompressedDatabase | list[CGroup],
+    compressed: "GroupedDatabase | list[Group] | TransactionDatabase",
     min_support: int,
     counters: CostCounters | None = None,
     single_group_shortcut: bool = True,
+    backend: str | None = None,
 ) -> PatternSet:
     """All patterns with support >= ``min_support`` from a compressed DB.
 
     This is Algorithm *Recycling* of Figure 3 restricted to the in-memory
-    case; the memory-limited path (lines 2–6, parallel projection to
-    disk) lives in :func:`repro.storage.projection.mine_rp_with_memory_budget`.
+    case, delegating to the shared group kernel
+    (:func:`repro.storage.projection.mine_grouped`); the memory-limited
+    path (lines 2–6, parallel projection to disk) lives in
+    :func:`repro.storage.projection.mine_rp_with_memory_budget`.
     ``single_group_shortcut=False`` disables the Lemma 3.1 enumeration —
-    an ablation knob; results are identical either way.
+    an ablation knob; results are identical either way. ``backend``
+    picks the kernel (``"bitset"``/``"python"``; ``None`` auto-selects).
     """
-    if min_support < 1:
-        raise MiningError(f"min_support must be >= 1, got {min_support}")
-    if isinstance(compressed, CompressedDatabase):
-        groups = compressed_to_cgroups(compressed)
-    else:
-        groups = list(compressed)
-    engine = _RPMineEngine(min_support, single_group_shortcut)
-    engine.mine(groups, ())
-    if counters is not None:
-        counters.group_counts += engine.stats["group_counts"]
-        counters.tuple_scans += engine.stats["tuple_scans"]
-        counters.item_visits += engine.stats["item_visits"]
-        counters.projections += engine.stats["projections"]
-        counters.single_group_enumerations += engine.stats["single_group_enumerations"]
-        counters.patterns_emitted += len(engine.result)
-    return engine.result
+    return mine_grouped(
+        compressed,
+        min_support,
+        counters,
+        single_group_shortcut=single_group_shortcut,
+        backend=backend,
+    )
+
+
+def compressed_to_cgroups(compressed: GroupedDatabase) -> list[Group]:
+    """Deprecated: use ``to_grouped(compressed).mining_groups()``."""
+    warnings.warn(
+        "compressed_to_cgroups is deprecated; use "
+        "repro.core.groups.to_grouped(...).mining_groups()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return list(to_grouped(compressed).mining_groups())
+
+
+def database_to_cgroups(db: "TransactionDatabase") -> list[Group]:
+    """Deprecated: use ``GroupedDatabase.from_database(db).mining_groups()``."""
+    warnings.warn(
+        "database_to_cgroups is deprecated; use "
+        "repro.core.groups.GroupedDatabase.from_database(...).mining_groups()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return list(GroupedDatabase.from_database(db).mining_groups())
+
+
+def __getattr__(name: str) -> object:
+    if name == "CGroup":
+        # Accessing the name itself warns once per call site; the object
+        # returned IS the unified Group, so isinstance checks keep working.
+        warnings.warn(
+            "repro.core.naive.CGroup is deprecated; "
+            "use repro.core.groups.Group",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Group
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -74,12 +74,14 @@ def execute_plan(
     algorithm: str = "hmine",
     strategy: str = "mcp",
     counters: CostCounters | None = None,
+    backend: str = "bitset",
 ) -> PatternSet:
     """Carry out ``plan``, returning the full pattern set at ``new_support``.
 
     ``algorithm`` is a baseline name from the miner registry (or
     ``"naive"``); the recycling path resolves it to a recycling
-    adaptation via :func:`resolve_recycling_algorithm`.
+    adaptation via :func:`resolve_recycling_algorithm`. ``backend``
+    selects the compression claiming implementation on that path.
     """
     if plan.path == PATH_FILTER:
         assert plan.feedstock is not None
@@ -95,6 +97,7 @@ def execute_plan(
             algorithm=resolve_recycling_algorithm(algorithm),
             strategy=strategy,
             counters=counters,
+            backend=backend,
         )
         return outcome.patterns
     name = resolve_baseline_algorithm(algorithm)

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.compression import CompressedDatabase, CompressionResult, compress
+from repro.core.compression import CompressionResult, compress
+from repro.core.groups import GroupedDatabase
 from repro.core.utility import CompressionStrategy
 from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError, RecycleError
@@ -23,8 +24,8 @@ from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import MinerView, get_miner
 
-#: A recycling miner maps (compressed db, min support, counters) -> patterns.
-RecyclingMiner = Callable[[CompressedDatabase, int, CostCounters | None], PatternSet]
+#: A recycling miner maps (grouped db, min support, counters) -> patterns.
+RecyclingMiner = Callable[[GroupedDatabase, int, CostCounters | None], PatternSet]
 
 #: Deprecated: live name->fn view over the registry's recycling miners.
 #: Use :func:`repro.mining.registry.get_miner` in new code.
@@ -33,8 +34,13 @@ RECYCLING_MINERS = MinerView("recycling")
 
 def get_recycling_miner(algorithm: str) -> RecyclingMiner:
     """Look up a recycling miner by base-algorithm name via the registry."""
+    return get_miner_spec(algorithm).fn
+
+
+def get_miner_spec(algorithm: str):
+    """The full recycling :class:`~repro.mining.registry.MinerSpec`."""
     try:
-        return get_miner(algorithm, kind="recycling").fn
+        return get_miner(algorithm, kind="recycling")
     except MiningError as exc:
         raise RecycleError(str(exc).replace("miner", "algorithm", 1)) from None
 
@@ -54,15 +60,19 @@ def recycle_mine(
     algorithm: str = "hmine",
     strategy: CompressionStrategy | str = "mcp",
     counters: CostCounters | None = None,
+    backend: str = "bitset",
 ) -> PatternSet:
     """Phase 1 + Phase 2: compress ``db`` with ``old_patterns``, then mine.
 
     ``min_support`` is the relaxed absolute threshold (``xi_new``). The
     result is exactly the frequent patterns of ``db`` at that threshold —
-    recycling changes the cost, never the answer.
+    recycling changes the cost, never the answer. ``backend`` selects the
+    Phase 1 claiming implementation (both backends produce bit-identical
+    groups; the grouped output always carries the encoded view the
+    bitset mining kernel needs).
     """
     return recycle_mine_detailed(
-        db, old_patterns, min_support, algorithm, strategy, counters
+        db, old_patterns, min_support, algorithm, strategy, counters, backend
     ).patterns
 
 
@@ -73,13 +83,14 @@ def recycle_mine_detailed(
     algorithm: str = "hmine",
     strategy: CompressionStrategy | str = "mcp",
     counters: CostCounters | None = None,
+    backend: str = "bitset",
 ) -> RecycleOutcome:
     """Like :func:`recycle_mine` but also returns compression statistics."""
-    miner = get_recycling_miner(algorithm)
+    spec = get_miner_spec(algorithm)
     if len(old_patterns) == 0:
         raise RecycleError(
             "no patterns to recycle — mine with a baseline algorithm instead"
         )
-    compression = compress(db, old_patterns, strategy, counters)
-    patterns = miner(compression.compressed, min_support, counters)
+    compression = compress(db, old_patterns, strategy, counters, backend=backend)
+    patterns = spec.mine(compression.compressed, min_support, counters)
     return RecycleOutcome(patterns=patterns, compression=compression)

@@ -21,8 +21,8 @@ tuples — the same saving Recycle-HM gets from group links.
 
 from __future__ import annotations
 
-from repro.core.compression import CompressedDatabase
-from repro.core.naive import CGroup, compressed_to_cgroups
+from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
@@ -67,7 +67,7 @@ def _intersect(
 
 
 def _vertical_layout(
-    groups: list[CGroup],
+    groups: list[Group],
 ) -> tuple[dict[int, GroupedTidset], list[int]]:
     """Build grouped tidsets and the per-group counts."""
     tidsets: dict[int, GroupedTidset] = {}
@@ -86,17 +86,14 @@ def _vertical_layout(
 
 
 def mine_recycle_eclat(
-    compressed: CompressedDatabase | list[CGroup],
+    compressed: GroupedDatabase | list[Group] | TransactionDatabase,
     min_support: int,
     counters: CostCounters | None = None,
 ) -> PatternSet:
     """All patterns with support >= ``min_support`` via grouped Eclat."""
     if min_support < 1:
         raise MiningError(f"min_support must be >= 1, got {min_support}")
-    if isinstance(compressed, CompressedDatabase):
-        groups = compressed_to_cgroups(compressed)
-    else:
-        groups = list(compressed)
+    groups = list(to_grouped(compressed).mining_groups())
 
     tidsets, group_counts = _vertical_layout(groups)
     stats = {"group_counts": 0, "item_visits": 0, "intersections": 0}

@@ -25,13 +25,16 @@ processed from least frequent upward as in classic FP-growth.
 
 from __future__ import annotations
 
-from itertools import combinations
-
-from repro.core.compression import CompressedDatabase
-from repro.core.naive import CGroup, compressed_to_cgroups
+from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
+from repro.storage.projection import (
+    count_group_supports,
+    enumerate_single_group,
+    new_kernel_stats,
+)
 
 # A conditional-base row: (implied group items, explicit path items, count).
 _BaseRow = tuple[tuple[int, ...], tuple[int, ...], int]
@@ -230,9 +233,9 @@ def _enumerate_single_branch(
     token_subsets: list[tuple[int, ...]] = [()]
     for item in implied_frequent:
         token_subsets.extend(subset + (item,) for subset in list(token_subsets))
-    # Pure implied-item patterns, support = branch count.
-    for subset in token_subsets[1:]:
-        result.add(prefix + subset, top_count)
+    # Pure implied-item patterns, support = branch count — the shared
+    # Lemma 3.1 enumerator handles exactly this case.
+    enumerate_single_group(implied_frequent, top_count, prefix, result)
     # Chain-prefix subsets: the deepest selected member sets the support.
     n = len(live_chain)
     for mask in range(1, 1 << n):
@@ -318,26 +321,18 @@ def _build_tree(
 
 
 def mine_recycle_fptree(
-    compressed: CompressedDatabase | list[CGroup],
+    compressed: GroupedDatabase | list[Group] | TransactionDatabase,
     min_support: int,
     counters: CostCounters | None = None,
 ) -> PatternSet:
     """All patterns with support >= ``min_support`` via Recycle-FP."""
     if min_support < 1:
         raise MiningError(f"min_support must be >= 1, got {min_support}")
-    if isinstance(compressed, CompressedDatabase):
-        groups = compressed_to_cgroups(compressed)
-    else:
-        groups = list(compressed)
+    groups = list(to_grouped(compressed).mining_groups())
 
-    # First scan: global supports (group counts charged in one step).
-    counts: dict[int, int] = {}
-    for group in groups:
-        for item in group.pattern:
-            counts[item] = counts.get(item, 0) + group.count
-        for tail in group.tails:
-            for item in tail:
-                counts[item] = counts.get(item, 0) + 1
+    # First scan: global supports via the shared kernel (group counts
+    # charged in one step; not billed to the caller's counters).
+    counts = count_group_supports(groups, new_kernel_stats())
     frequent = {i for i, c in counts.items() if c >= min_support}
     result = PatternSet()
     if not frequent:

@@ -31,13 +31,16 @@ H-Mine).
 
 from __future__ import annotations
 
-from itertools import combinations
-
-from repro.core.compression import CompressedDatabase
-from repro.core.naive import CGroup, compressed_to_cgroups
+from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
+from repro.storage.projection import (
+    count_group_supports,
+    enumerate_single_group,
+    new_kernel_stats,
+)
 
 Tail = tuple[tuple[int, ...], int]  # (rank-sorted items, live-suffix offset)
 
@@ -125,9 +128,7 @@ class _RecycleHMEngine:
         sole = source[local[0]]
         if sole is not None and all(source[i] is sole for i in local):
             self.stats["single_group_enumerations"] += 1
-            for size in range(1, len(local) + 1):
-                for combo in combinations(local, size):
-                    self.result.add(prefix + combo, sole.count)
+            enumerate_single_group(tuple(local), sole.count, prefix, self.result)
             return
 
         # --- Fill-RPHeader: thread records (group-links) and tails
@@ -235,7 +236,7 @@ class _RecycleHMEngine:
                 self.mine(children, new_prefix)
 
 
-def cgroups_to_records(groups: list[CGroup], grank: dict[int, int]) -> list[_Record]:
+def cgroups_to_records(groups: list[Group], grank: dict[int, int]) -> list[_Record]:
     """Build root-level records: rank-sort patterns/tails, drop infrequent."""
     records: list[_Record] = []
     for group in groups:
@@ -255,27 +256,21 @@ def cgroups_to_records(groups: list[CGroup], grank: dict[int, int]) -> list[_Rec
 
 
 def mine_recycle_hmine(
-    compressed: CompressedDatabase | list[CGroup],
+    compressed: GroupedDatabase | list[Group] | TransactionDatabase,
     min_support: int,
     counters: CostCounters | None = None,
 ) -> PatternSet:
     """All patterns with support >= ``min_support`` via Recycle-HM."""
     if min_support < 1:
         raise MiningError(f"min_support must be >= 1, got {min_support}")
-    if isinstance(compressed, CompressedDatabase):
-        groups = compressed_to_cgroups(compressed)
-    else:
-        groups = list(compressed)
+    groups = list(to_grouped(compressed).mining_groups())
 
     # Global F-list over the compressed database (one cheap scan that
-    # itself benefits from group counts, as Example 1 points out).
-    counts: dict[int, int] = {}
-    for group in groups:
-        for item in group.pattern:
-            counts[item] = counts.get(item, 0) + group.count
-        for tail in group.tails:
-            for item in tail:
-                counts[item] = counts.get(item, 0) + 1
+    # itself benefits from group counts, as Example 1 points out). The
+    # shared kernel does the counting; the scan is deliberately not
+    # charged to the caller's counters (throwaway stats), matching the
+    # historical accounting.
+    counts = count_group_supports(groups, new_kernel_stats())
     frequent = sorted(
         (i for i, c in counts.items() if c >= min_support),
         key=lambda i: (counts[i], i),

@@ -19,13 +19,19 @@ the matrix entirely.
 from __future__ import annotations
 
 from collections import Counter
-from itertools import combinations
 
-from repro.core.compression import CompressedDatabase
-from repro.core.naive import CGroup, compressed_to_cgroups
+from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
+from repro.storage.projection import (
+    count_group_supports,
+    enumerate_single_group,
+    find_single_group,
+    new_kernel_stats,
+    normalize_groups,
+)
 
 
 class _RecycleTPEngine:
@@ -45,7 +51,7 @@ class _RecycleTPEngine:
     def mine_node(
         self,
         prefix: tuple[int, ...],
-        groups: list[CGroup],
+        groups: list[Group],
         extensions: list[int],
     ) -> None:
         """Expand lexicographic-tree node ``prefix``.
@@ -57,12 +63,15 @@ class _RecycleTPEngine:
         if len(extensions) < 2:
             return
 
-        shortcut = self._single_group(groups, extensions)
+        # Lemma 3.1 via the shared kernel test: one group, no tails,
+        # pattern covering the node. Sizes 1 are the caller's job here
+        # (extensions were already emitted), hence min_size=2.
+        shortcut = find_single_group(groups, extensions, self.min_support)
         if shortcut is not None:
             self.stats["single_group_enumerations"] += 1
-            for size in range(2, len(extensions) + 1):
-                for combo in combinations(extensions, size):
-                    self.result.add(prefix + combo, shortcut.count)
+            enumerate_single_group(
+                tuple(extensions), shortcut.count, prefix, self.result, min_size=2
+            )
             return
 
         pair_counts = self._matrix(groups)
@@ -82,20 +91,7 @@ class _RecycleTPEngine:
             self.stats["projections"] += 1
             self.mine_node(child_prefix, child_groups, child_extensions)
 
-    def _single_group(
-        self, groups: list[CGroup], extensions: list[int]
-    ) -> CGroup | None:
-        """Lemma 3.1 test: one group, no tails, pattern covering the node."""
-        if len(groups) != 1:
-            return None
-        group = groups[0]
-        if group.tails or group.count < self.min_support:
-            return None
-        if set(group.pattern) != set(extensions):
-            return None
-        return group
-
-    def _matrix(self, groups: list[CGroup]) -> Counter[tuple[int, int]]:
+    def _matrix(self, groups: list[Group]) -> Counter[tuple[int, int]]:
         """The node's triangular matrix of 2-extension supports.
 
         Pattern-pattern pairs charge the group count once; pairs with a
@@ -129,8 +125,8 @@ class _RecycleTPEngine:
         return pair_counts
 
     def _project(
-        self, groups: list[CGroup], item: int, keep: set[int]
-    ) -> list[CGroup]:
+        self, groups: list[Group], item: int, keep: set[int]
+    ) -> list[Group]:
         """Project groups onto ``item``, restricted to ``keep`` items."""
         grank = self.grank
         merged: dict[tuple[int, ...], list] = {}
@@ -170,31 +166,24 @@ class _RecycleTPEngine:
                     if filtered_tail:
                         slot[1].append(filtered_tail)
         return [
-            CGroup(pattern, count, tuple(tails))
+            Group(pattern, count, tuple(tails))
             for pattern, (count, tails) in merged.items()
         ]
 
 
 def mine_recycle_treeprojection(
-    compressed: CompressedDatabase | list[CGroup],
+    compressed: GroupedDatabase | list[Group] | TransactionDatabase,
     min_support: int,
     counters: CostCounters | None = None,
 ) -> PatternSet:
     """All patterns with support >= ``min_support`` via Recycle-TP."""
     if min_support < 1:
         raise MiningError(f"min_support must be >= 1, got {min_support}")
-    if isinstance(compressed, CompressedDatabase):
-        groups = compressed_to_cgroups(compressed)
-    else:
-        groups = list(compressed)
+    groups = list(to_grouped(compressed).mining_groups())
 
-    counts: dict[int, int] = {}
-    for group in groups:
-        for item in group.pattern:
-            counts[item] = counts.get(item, 0) + group.count
-        for tail in group.tails:
-            for item in tail:
-                counts[item] = counts.get(item, 0) + 1
+    # Global supports via the shared kernel (throwaway stats — this scan
+    # was never billed to the caller's counters).
+    counts = count_group_supports(groups, new_kernel_stats())
     frequent = sorted(
         (i for i, c in counts.items() if c >= min_support),
         key=lambda i: (counts[i], i),
@@ -204,28 +193,9 @@ def mine_recycle_treeprojection(
     for item in frequent:
         engine.result.add((item,), counts[item])
 
-    # Root projection: restrict everything to frequent items, rank order.
-    normalized: dict[tuple[int, ...], list] = {}
-    for group in groups:
-        pattern = tuple(
-            sorted((i for i in group.pattern if i in grank), key=grank.__getitem__)
-        )
-        tails = []
-        for tail in group.tails:
-            filtered = tuple(
-                sorted((i for i in tail if i in grank), key=grank.__getitem__)
-            )
-            if filtered:
-                tails.append(filtered)
-        if not pattern and not tails:
-            continue
-        slot = normalized.setdefault(pattern, [0, []])
-        slot[0] += group.count
-        slot[1].extend(tails)
-    root_groups = [
-        CGroup(pattern, count, tuple(tails))
-        for pattern, (count, tails) in normalized.items()
-    ]
+    # Root projection: restrict everything to frequent items, rank order —
+    # exactly the kernel's normalization pass.
+    root_groups = normalize_groups(groups, grank, new_kernel_stats())
     engine.mine_node((), root_groups, frequent)
 
     if counters is not None:

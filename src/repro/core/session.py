@@ -73,6 +73,9 @@ class MiningSession:
         Compression strategy for the recycling path ("mcp" or "mlp").
     item_table:
         Optional item catalog consulted by aggregate constraints.
+    backend:
+        Compression claiming backend for the recycling path ("bitset"
+        word-parallel default, "python" reference loops).
     """
 
     def __init__(
@@ -81,6 +84,7 @@ class MiningSession:
         algorithm: str = "hmine",
         strategy: str = "mcp",
         item_table: ItemTable | None = None,
+        backend: str = "bitset",
     ) -> None:
         if algorithm != "naive" and not has_miner(algorithm, kind="baseline"):
             known = ", ".join(miner_names("baseline"))
@@ -88,6 +92,7 @@ class MiningSession:
         self.db = db
         self.algorithm = algorithm
         self.strategy = strategy
+        self.backend = backend
         self.context = ConstraintContext(
             db_size=len(db), item_table=item_table or ItemTable()
         )
@@ -130,6 +135,7 @@ class MiningSession:
             algorithm=self.algorithm,
             strategy=self.strategy,
             counters=counters,
+            backend=self.backend,
         )
 
         result = constraints.filter_patterns(support_patterns, self.context)

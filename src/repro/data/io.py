@@ -22,7 +22,7 @@ from typing import TextIO
 
 from repro.data.transactions import TransactionDatabase
 from repro.errors import DataError
-from repro.mining.patterns import PatternSet
+from repro.data.patterns import PatternSet
 
 
 def read_transactions(path: str | Path) -> TransactionDatabase:

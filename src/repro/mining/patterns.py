@@ -1,170 +1,13 @@
-"""Frequent patterns and pattern sets.
+"""Historical home of :class:`PatternSet` — now :mod:`repro.data.patterns`.
 
-A *pattern* (itemset) is represented as a ``frozenset[int]``.
-:class:`PatternSet` is the universal result type of every miner in this
-library and the input to the recycling pipeline: the patterns mined at the
-old constraints are exactly what gets recycled into compression.
+The pattern types are pure value objects, so they live in the data layer
+(which lets :mod:`repro.data.io` read and write them without importing
+upward). Every existing ``repro.mining.patterns`` import keeps working
+through this re-export.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping
+from repro.data.patterns import Pattern, PatternSet, pattern
 
-from repro.errors import MiningError
-
-Pattern = frozenset[int]
-
-
-def pattern(items: Iterable[int]) -> Pattern:
-    """Build a pattern from any iterable of item ids."""
-    return frozenset(items)
-
-
-class PatternSet:
-    """A mapping from pattern to absolute support.
-
-    Supports the operations the recycling pipeline needs: filtering on new
-    constraints (the *tighten* path), utility-ordered iteration (the
-    compression phase), and set-equality comparison (the correctness
-    invariant in the test suite).
-
-    >>> ps = PatternSet({frozenset({1}): 3, frozenset({1, 2}): 2})
-    >>> ps.support(frozenset({1, 2}))
-    2
-    >>> len(ps.filter_min_support(3))
-    1
-    """
-
-    def __init__(self, patterns: Mapping[Pattern, int] | None = None) -> None:
-        self._supports: dict[Pattern, int] = {}
-        if patterns:
-            for items, support in patterns.items():
-                self.add(items, support)
-
-    # ------------------------------------------------------------------
-    # construction & mutation
-    # ------------------------------------------------------------------
-    def add(self, items: Iterable[int], support: int) -> None:
-        """Record a pattern. Re-adding must agree on the support."""
-        key = frozenset(items)
-        if not key:
-            raise MiningError("the empty pattern cannot be stored")
-        if support < 0:
-            raise MiningError(f"negative support {support} for {sorted(key)}")
-        existing = self._supports.get(key)
-        if existing is not None and existing != support:
-            raise MiningError(
-                f"conflicting supports for {sorted(key)}: {existing} vs {support}"
-            )
-        self._supports[key] = support
-
-    # ------------------------------------------------------------------
-    # mapping protocol
-    # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._supports)
-
-    def __iter__(self) -> Iterator[Pattern]:
-        return iter(self._supports)
-
-    def __contains__(self, items: object) -> bool:
-        if isinstance(items, frozenset):
-            return items in self._supports
-        if isinstance(items, Iterable):
-            return frozenset(items) in self._supports  # type: ignore[arg-type]
-        return False
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, PatternSet):
-            return NotImplemented
-        return self._supports == other._supports
-
-    def __hash__(self) -> int:  # pragma: no cover - not hashable by design
-        raise TypeError("PatternSet is mutable and unhashable")
-
-    def __repr__(self) -> str:
-        return f"PatternSet(n={len(self)}, max_len={self.max_length()})"
-
-    def support(self, items: Iterable[int]) -> int:
-        """Support of a stored pattern; raises if the pattern is absent."""
-        key = frozenset(items)
-        try:
-            return self._supports[key]
-        except KeyError:
-            raise MiningError(f"pattern {sorted(key)} not in set") from None
-
-    def get(self, items: Iterable[int], default: int | None = None) -> int | None:
-        """Support of a pattern, or ``default`` when absent."""
-        return self._supports.get(frozenset(items), default)
-
-    def items(self) -> Iterator[tuple[Pattern, int]]:
-        """Iterate ``(pattern, support)`` pairs."""
-        return iter(self._supports.items())
-
-    def as_dict(self) -> dict[Pattern, int]:
-        """A shallow copy of the underlying mapping."""
-        return dict(self._supports)
-
-    # ------------------------------------------------------------------
-    # statistics
-    # ------------------------------------------------------------------
-    def max_length(self) -> int:
-        """Length of the longest pattern (0 when empty). Table 3 reports this."""
-        return max((len(p) for p in self._supports), default=0)
-
-    def count_by_length(self) -> dict[int, int]:
-        """Histogram ``{pattern_length: count}``."""
-        histogram: dict[int, int] = {}
-        for p in self._supports:
-            histogram[len(p)] = histogram.get(len(p), 0) + 1
-        return dict(sorted(histogram.items()))
-
-    # ------------------------------------------------------------------
-    # derived sets
-    # ------------------------------------------------------------------
-    def filter(self, predicate: Callable[[Pattern, int], bool]) -> "PatternSet":
-        """Patterns satisfying ``predicate(pattern, support)``.
-
-        This is the paper's *tightened constraints* path: when the new
-        constraint set only shrinks the solution space, the new result is
-        a filter over the old one — no mining required.
-        """
-        result = PatternSet()
-        for items, support in self._supports.items():
-            if predicate(items, support):
-                result._supports[items] = support
-        return result
-
-    def filter_min_support(self, min_support: int) -> "PatternSet":
-        """Patterns whose support is at least ``min_support``."""
-        return self.filter(lambda _items, support: support >= min_support)
-
-    def maximal(self) -> "PatternSet":
-        """The maximal patterns (no frequent superset in this set)."""
-        by_length = sorted(self._supports, key=len, reverse=True)
-        maximal: list[Pattern] = []
-        result = PatternSet()
-        for candidate in by_length:
-            if not any(candidate < kept for kept in maximal):
-                maximal.append(candidate)
-                result._supports[candidate] = self._supports[candidate]
-        return result
-
-    def closed(self) -> "PatternSet":
-        """The closed patterns (no superset with identical support)."""
-        result = PatternSet()
-        for items, support in self._supports.items():
-            is_closed = not any(
-                items < other and other_support == support
-                for other, other_support in self._supports.items()
-            )
-            if is_closed:
-                result._supports[items] = support
-        return result
-
-    def sorted_patterns(self) -> list[tuple[tuple[int, ...], int]]:
-        """Deterministically ordered ``(sorted_items, support)`` list."""
-        return sorted(
-            ((tuple(sorted(p)), s) for p, s in self._supports.items()),
-            key=lambda entry: (len(entry[0]), entry[0]),
-        )
+__all__ = ["Pattern", "PatternSet", "pattern"]

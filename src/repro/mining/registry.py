@@ -14,7 +14,11 @@ everything a driver needs to pick a miner:
 ``fn``
     ``fn(source, min_support, counters=None) -> PatternSet``.
 ``needs_compressed``
-    Whether ``source`` must be a compressed database.
+    Whether ``source`` must be in group representation. When set,
+    :meth:`MinerSpec.mine` coerces any legacy source (a
+    ``TransactionDatabase``, a bare group list) through
+    :func:`repro.core.groups.to_grouped` — the registry, not each miner,
+    owns the conversion.
 ``backend``
     ``"python"`` (per-element loops) or ``"bitset"`` (word-parallel
     big-int bitmaps over the shared
@@ -82,7 +86,17 @@ class MinerSpec:
     def mine(
         self, source: object, min_support: int, counters: "CostCounters | None" = None
     ) -> "PatternSet":
-        """Run the miner with the uniform contract."""
+        """Run the miner with the uniform contract.
+
+        For recycling miners (``needs_compressed``) the source is first
+        coerced into a :class:`~repro.core.groups.GroupedDatabase` — the
+        one capability-flagged conversion point that replaced the old
+        per-miner ``isinstance`` unions.
+        """
+        if self.needs_compressed:
+            from repro.core.groups import to_grouped
+
+            source = to_grouped(source)
         return self.fn(source, min_support, counters)
 
 

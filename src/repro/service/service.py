@@ -12,7 +12,7 @@ already paid for.
 Two service-level mechanisms ride on top:
 
 * **Single-flight coalescing.** Identical requests (same database
-  fingerprint, absolute support, algorithm and strategy) that are in
+  fingerprint, absolute support, algorithm, strategy and backend) that are in
   flight at the same time share one underlying computation; followers
   attach to the leader's future instead of mining again. De-duplication
   happens at submit time in the caller's thread, so even requests that
@@ -54,6 +54,7 @@ class MineRequest:
     tenant: str = "anonymous"
     algorithm: str = "hmine"
     strategy: str = "mcp"
+    backend: str = "bitset"
 
     def absolute_support(self) -> int:
         """The absolute threshold this request resolves to."""
@@ -182,7 +183,7 @@ class MiningService:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-mining"
         )
-        self._inflight: dict[tuple[str, int, str, str], Future] = {}
+        self._inflight: dict[tuple[str, int, str, str, str], Future] = {}
         self._inflight_lock = threading.Lock()
         self._closed = False
 
@@ -208,6 +209,7 @@ class MiningService:
             absolute,
             request.algorithm,
             request.strategy,
+            request.backend,
         )
         with self._inflight_lock:
             leader = self._inflight.get(key)
@@ -274,7 +276,7 @@ class MiningService:
     # ------------------------------------------------------------------
     def _run_leader(
         self,
-        key: tuple[str, int, str, str],
+        key: tuple[str, int, str, str, str],
         request: MineRequest,
         absolute: int,
         leader: "Future[_Computation]",
@@ -315,6 +317,7 @@ class MiningService:
             algorithm=request.algorithm,
             strategy=request.strategy,
             counters=counters,
+            backend=request.backend,
         )
         if self.warehouse is not None and plan.path != PATH_FILTER:
             # Filter results are cheap derivations of an existing entry;

@@ -13,13 +13,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.groups import ITEM_BYTES, RECORD_OVERHEAD_BYTES
 from repro.errors import StorageError
 from repro.metrics.counters import CostCounters
 
-#: Bytes per stored item id (a 2004-era 32-bit int).
-ITEM_BYTES = 4
-#: Bytes of per-record framing (tuple length header).
-RECORD_OVERHEAD_BYTES = 4
+__all__ = [
+    "DiskModel",
+    "ITEM_BYTES",
+    "RECORD_OVERHEAD_BYTES",
+    "SimulatedDisk",
+    "cgroups_byte_size",
+    "patterns_byte_size",
+    "transactions_byte_size",
+]
 
 
 @dataclass(frozen=True)
@@ -56,14 +62,12 @@ def patterns_byte_size(patterns) -> int:
 def cgroups_byte_size(groups) -> int:
     """Modelled on-disk size of a compressed (projected) database.
 
-    Each group stores its pattern once plus a count, then its tails.
+    Each group stores its pattern once plus a count, then its tails —
+    the canonical model now lives on
+    :attr:`repro.core.groups.Group.byte_size` (memoized per group); this
+    helper just sums it over a (projected) group list.
     """
-    total = 0
-    for group in groups:
-        total += len(group.pattern) * ITEM_BYTES + 2 * RECORD_OVERHEAD_BYTES
-        for tail in group.tails:
-            total += len(tail) * ITEM_BYTES + RECORD_OVERHEAD_BYTES
-    return total
+    return sum(group.byte_size for group in groups)
 
 
 class SimulatedDisk:

@@ -1,35 +1,48 @@
-"""Memory-limited mining via parallel projection (Sections 3.3 and 5.3).
+"""The shared group-aware mining kernel and the memory-limited drivers.
 
-When the (compressed) database's mining structure exceeds the memory
-budget, it is *parallel-projected*: one pass writes every tuple into the
-projected database of **each** of its frequent items on (simulated) disk
-— the approach the paper adopts over partition-based projection, trading
-disk space for a single projection pass. Each projected database is then
-read back and mined independently, recursing if it still does not fit.
+This module is the single Phase 2 engine room. The first half is the
+**group kernel**: counting, normalization, projection and the Lemma 3.1
+single-group enumeration over the unified
+:class:`~repro.core.groups.Group` representation, exposed through
+:func:`mine_grouped` with two backends selected like
+``compress(..., backend=...)``:
 
-Two drivers share this logic: :func:`mine_hmine_with_memory_budget` for
-the plain H-Mine baseline and :func:`mine_rp_with_memory_budget` for the
-recycling miner over compressed groups — the H-Mine vs HM-MCP pairing of
-Figures 21–24. Both are registered as ``budget_fn`` capabilities in the
-miner registry; callers resolve them by name through
-:func:`mine_with_memory_budget` (a thin alias of
-:func:`repro.mining.registry.mine_with_budget`) instead of hard-coding
-the pairing.
+``"python"``
+    The reference projected-database engine (Figure 3): explicit group
+    rows, per-item loops. Works on any group list, including bare
+    hand-built rows.
+``"bitset"``
+    A vertical engine over the shared
+    :class:`~repro.data.encoded.EncodedDatabase`: each group is just
+    *(pattern set, member-position mask)*; counting an item inside a
+    group is one big-int ``&`` + ``bit_count()`` and projection narrows
+    the mask — the same word-parallel trick PR 1 gave Eclat, now applied
+    to group counting. Requires a :class:`~repro.core.groups.GroupedDatabase`
+    with an attached original (``supports_bitset``).
+
+Both backends produce bit-identical pattern sets; ``backend=None``
+auto-selects bitset when the source supports it. Every recycling miner
+(`naive`, Recycle-HM/FP/TP/Eclat) routes its shared pieces — global
+F-list counting, root normalization, the single-group enumerator —
+through this kernel instead of private copies.
+
+The second half is the memory-limited *parallel projection* machinery of
+Sections 3.3 and 5.3: when the mining structure exceeds the budget, one
+pass writes every tuple into the projected database of **each** frequent
+item on (simulated) disk, and partitions are mined independently.
+:func:`mine_hmine_with_memory_budget` (plain H-Mine) and
+:func:`mine_rp_with_memory_budget` (recycling over groups) are the
+Figures 21-24 pairing, registered as ``budget_fn`` capabilities in the
+miner registry.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from itertools import combinations
 
-from repro.core.naive import (
-    CGroup,
-    compressed_to_cgroups,
-    count_group_supports,
-    mine_rp,
-    normalize_groups,
-    project_groups,
-)
-from repro.core.compression import CompressedDatabase
+from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.data.encoded import EncodedDatabase
 from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
@@ -39,11 +52,363 @@ from repro.mining.patterns import PatternSet
 from repro.storage.disk import SimulatedDisk, cgroups_byte_size, transactions_byte_size
 from repro.storage.memory import estimate_rpstruct_bytes, estimate_transactions_bytes
 
+#: Backends accepted by :func:`mine_grouped` (``None`` auto-selects).
+GROUP_KERNEL_BACKENDS = ("bitset", "python")
 
+#: The stat keys every kernel pass charges (flushed into CostCounters).
+KERNEL_STAT_KEYS = (
+    "group_counts",
+    "tuple_scans",
+    "item_visits",
+    "projections",
+    "single_group_enumerations",
+)
+
+
+def new_kernel_stats() -> dict[str, int]:
+    """A fresh zeroed stats dict with the kernel's counter keys."""
+    return dict.fromkeys(KERNEL_STAT_KEYS, 0)
+
+
+# ----------------------------------------------------------------------
+# the horizontal (python) group kernel
+# ----------------------------------------------------------------------
+def count_group_supports(
+    groups: list[Group], stats: dict[str, int]
+) -> Counter[int]:
+    """Item supports over a (projected) grouped database.
+
+    A group's pattern items are counted once with the group count
+    instead of tuple by tuple (Section 3.1's group-count saving); tails
+    are scanned per occurrence.
+    """
+    counts: Counter[int] = Counter()
+    for group in groups:
+        if group.pattern:
+            stats["group_counts"] += 1
+            for item in group.pattern:
+                counts[item] += group.count
+        for tail in group.tails:
+            stats["tuple_scans"] += 1
+            stats["item_visits"] += len(tail)
+            counts.update(tail)
+    return counts
+
+
+def normalize_groups(
+    groups: list[Group], frequent_rank: dict[int, int], stats: dict[str, int]
+) -> list[Group]:
+    """Drop infrequent items, rank-sort, and merge groups by pattern."""
+    merged: dict[tuple[int, ...], list] = {}
+    for group in groups:
+        pattern = tuple(
+            sorted(
+                (i for i in group.pattern if i in frequent_rank),
+                key=frequent_rank.__getitem__,
+            )
+        )
+        tails = []
+        for tail in group.tails:
+            filtered = tuple(
+                sorted(
+                    (i for i in tail if i in frequent_rank),
+                    key=frequent_rank.__getitem__,
+                )
+            )
+            if filtered:
+                tails.append(filtered)
+        if not pattern and not tails:
+            continue
+        slot = merged.setdefault(pattern, [0, []])
+        slot[0] += group.count
+        slot[1].extend(tails)
+    return [
+        Group(pattern, count, tuple(tails))
+        for pattern, (count, tails) in merged.items()
+    ]
+
+
+def project_groups(
+    groups: list[Group], item: int, rank: dict[int, int], stats: dict[str, int]
+) -> list[Group]:
+    """The ``item``-projected grouped database.
+
+    Keeps, for every tuple containing ``item``, the items ranked strictly
+    after it. Groups whose pattern contains ``item`` move wholesale
+    (their count is preserved); otherwise only tails containing ``item``
+    move, regrouped under their truncated pattern.
+    """
+    pivot = rank[item]
+    merged: dict[tuple[int, ...], list] = {}
+    stats["projections"] += 1
+    for group in groups:
+        if item in group.pattern:
+            stats["group_counts"] += 1
+            new_pattern = tuple(i for i in group.pattern if rank[i] > pivot)
+            new_tails = []
+            for tail in group.tails:
+                stats["tuple_scans"] += 1
+                truncated = tuple(i for i in tail if rank[i] > pivot)
+                stats["item_visits"] += len(truncated)
+                if truncated:
+                    new_tails.append(truncated)
+            if not new_pattern and not new_tails:
+                continue
+            slot = merged.setdefault(new_pattern, [0, []])
+            slot[0] += group.count
+            slot[1].extend(new_tails)
+        else:
+            truncated_pattern: tuple[int, ...] | None = None
+            for tail in group.tails:
+                stats["tuple_scans"] += 1
+                if item not in tail:
+                    continue
+                if truncated_pattern is None:
+                    truncated_pattern = tuple(
+                        i for i in group.pattern if rank[i] > pivot
+                    )
+                truncated_tail = tuple(i for i in tail if rank[i] > pivot)
+                stats["item_visits"] += len(truncated_tail)
+                if not truncated_pattern and not truncated_tail:
+                    continue
+                slot = merged.setdefault(truncated_pattern, [0, []])
+                slot[0] += 1
+                if truncated_tail:
+                    slot[1].append(truncated_tail)
+    return [
+        Group(pattern, count, tuple(tails))
+        for pattern, (count, tails) in merged.items()
+    ]
+
+
+def find_single_group(
+    groups: list[Group], frequent: list[int], min_support: int
+) -> Group | None:
+    """Return the lone group when Lemma 3.1 applies, else ``None``.
+
+    The lemma requires every occurrence of every (locally) frequent item
+    to lie in a single group's pattern: one group, no tails, and the
+    pattern covering all frequent items.
+    """
+    if len(groups) != 1:
+        return None
+    group = groups[0]
+    if group.tails or group.count < min_support:
+        return None
+    if group.pattern_set != set(frequent):
+        return None
+    return group
+
+
+def enumerate_single_group(
+    items: tuple[int, ...],
+    count: int,
+    prefix: tuple[int, ...],
+    result: PatternSet,
+    min_size: int = 1,
+) -> None:
+    """Lemma 3.1's enumeration: every combination of ``items`` (of size
+    at least ``min_size``) extends ``prefix`` with support ``count``.
+
+    All five recycling miners share this — it is the one place subset
+    enumeration replaces recursion.
+    """
+    for size in range(min_size, len(items) + 1):
+        for combo in combinations(items, size):
+            result.add(prefix + combo, count)
+
+
+class _PythonGroupEngine:
+    """RP-InMemory (Figure 3) over explicit group rows."""
+
+    def __init__(self, min_support: int, single_group_shortcut: bool = True) -> None:
+        self.min_support = min_support
+        self.single_group_shortcut = single_group_shortcut
+        self.result = PatternSet()
+        self.stats = new_kernel_stats()
+
+    def mine(self, groups: list[Group], prefix: tuple[int, ...]) -> None:
+        """Mine all frequent extensions of ``prefix``."""
+        counts = count_group_supports(groups, self.stats)
+        frequent = [i for i, c in counts.items() if c >= self.min_support]
+        if not frequent:
+            return
+        # Local F-list: ascending support, ties by item id.
+        frequent.sort(key=lambda i: (counts[i], i))
+        rank = {item: pos for pos, item in enumerate(frequent)}
+        normalized = normalize_groups(groups, rank, self.stats)
+
+        shortcut = (
+            find_single_group(normalized, frequent, self.min_support)
+            if self.single_group_shortcut
+            else None
+        )
+        if shortcut is not None:
+            self.stats["single_group_enumerations"] += 1
+            enumerate_single_group(
+                shortcut.pattern, shortcut.count, prefix, self.result
+            )
+            return
+
+        for item in frequent:
+            new_prefix = prefix + (item,)
+            self.result.add(new_prefix, counts[item])
+            projected = project_groups(normalized, item, rank, self.stats)
+            if projected:
+                self.mine(projected, new_prefix)
+
+
+class _BitsetGroupEngine:
+    """The vertical group kernel: groups as (pattern set, position mask).
+
+    Counting item ``i`` in a group is ``popcount(bitmap(i) & mask)`` for
+    tail items and ``popcount(mask)`` outright for pattern items (the
+    group-count saving); projecting on a pivot narrows each mask with one
+    ``&``. Masks of distinct groups partition the prefix's tidset, so
+    every emitted support is the exact support — bit-identical to the
+    python engine.
+    """
+
+    def __init__(
+        self,
+        enc: EncodedDatabase,
+        min_support: int,
+        single_group_shortcut: bool = True,
+    ) -> None:
+        self.enc = enc
+        self.min_support = min_support
+        self.single_group_shortcut = single_group_shortcut
+        self.result = PatternSet()
+        self.stats = new_kernel_stats()
+
+    def mine(
+        self,
+        states: list[tuple[frozenset[int], int]],
+        candidates: list[int],
+        prefix: tuple[int, ...],
+    ) -> None:
+        bitmap_for_item = self.enc.bitmap_for_item
+        stats = self.stats
+        counts: dict[int, int] = {}
+        for item in candidates:
+            bitmap = None
+            total = 0
+            for pattern_set, mask in states:
+                if item in pattern_set:
+                    stats["group_counts"] += 1
+                    total += mask.bit_count()
+                else:
+                    if bitmap is None:
+                        bitmap = bitmap_for_item(item)
+                    stats["item_visits"] += 1
+                    total += (bitmap & mask).bit_count()
+            if total >= self.min_support:
+                counts[item] = total
+        if not counts:
+            return
+        frequent = sorted(counts, key=lambda i: (counts[i], i))
+
+        # Lemma 3.1, vertically: when every frequent item is a pattern
+        # item of every live state, the states merge into one tail-free
+        # group under normalization (exactly the python engine's merged
+        # single-group condition), with count = total live members.
+        if self.single_group_shortcut and all(
+            frequent_item in pattern_set
+            for pattern_set, _mask in states
+            for frequent_item in frequent
+        ):
+            stats["single_group_enumerations"] += 1
+            total_members = sum(mask.bit_count() for _pattern, mask in states)
+            enumerate_single_group(
+                tuple(frequent), total_members, prefix, self.result
+            )
+            return
+
+        for position, item in enumerate(frequent):
+            new_prefix = prefix + (item,)
+            self.result.add(new_prefix, counts[item])
+            rest = frequent[position + 1 :]
+            if not rest:
+                continue
+            stats["projections"] += 1
+            bitmap = bitmap_for_item(item)
+            children = [
+                (pattern_set, child_mask)
+                for pattern_set, mask in states
+                if (
+                    child_mask := (mask if item in pattern_set else bitmap & mask)
+                )
+            ]
+            if children:
+                self.mine(children, rest, new_prefix)
+
+
+def _flush_kernel_stats(
+    counters: CostCounters, stats: dict[str, int], result: PatternSet
+) -> None:
+    counters.group_counts += stats["group_counts"]
+    counters.tuple_scans += stats["tuple_scans"]
+    counters.item_visits += stats["item_visits"]
+    counters.projections += stats["projections"]
+    counters.single_group_enumerations += stats["single_group_enumerations"]
+    counters.patterns_emitted += len(result)
+
+
+def mine_grouped(
+    source: GroupedDatabase | TransactionDatabase | list[Group],
+    min_support: int,
+    counters: CostCounters | None = None,
+    single_group_shortcut: bool = True,
+    backend: str | None = None,
+) -> PatternSet:
+    """All patterns with support >= ``min_support`` from a grouped source.
+
+    The one Phase 2 entry point every consumer shares. ``backend`` is
+    ``"bitset"``, ``"python"`` or ``None`` (auto: bitset whenever the
+    source carries an encoded original and full member masks).
+    ``single_group_shortcut=False`` disables the Lemma 3.1 enumeration —
+    an ablation knob; results are identical either way.
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if backend is not None and backend not in GROUP_KERNEL_BACKENDS:
+        raise MiningError(
+            f"unknown group-kernel backend {backend!r} "
+            f"(known: {', '.join(GROUP_KERNEL_BACKENDS)})"
+        )
+    grouped = to_grouped(source)
+    if backend is None:
+        backend = "bitset" if grouped.supports_bitset else "python"
+    elif backend == "bitset" and not grouped.supports_bitset:
+        raise MiningError(
+            "bitset backend needs a GroupedDatabase with an encoded "
+            "original and full member masks (got bare groups)"
+        )
+
+    groups = list(grouped.mining_groups())
+    if backend == "bitset":
+        enc = grouped.encoded()
+        assert enc is not None  # guaranteed by supports_bitset
+        bitset_engine = _BitsetGroupEngine(enc, min_support, single_group_shortcut)
+        states = [(g.pattern_set, g.mask) for g in groups if g.mask]
+        bitset_engine.mine(states, [enc.item_of(c) for c in range(enc.item_count())], ())
+        result, stats = bitset_engine.result, bitset_engine.stats
+    else:
+        python_engine = _PythonGroupEngine(min_support, single_group_shortcut)
+        python_engine.mine(groups, ())
+        result, stats = python_engine.result, python_engine.stats
+    if counters is not None:
+        _flush_kernel_stats(counters, stats, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# memory-limited drivers (Sections 3.3 / 5.3, Figures 21-24)
+# ----------------------------------------------------------------------
 def mine_with_memory_budget(
     algorithm: str,
     kind: str,
-    source: TransactionDatabase | CompressedDatabase | list[CGroup],
+    source: TransactionDatabase | GroupedDatabase | list[Group],
     min_support: int,
     memory_budget_bytes: int,
     **kwargs: object,
@@ -244,7 +609,7 @@ def _mine_transaction_block(
 
 
 def mine_rp_with_memory_budget(
-    compressed: CompressedDatabase | list[CGroup],
+    compressed: GroupedDatabase | list[Group],
     min_support: int,
     memory_budget_bytes: int,
     disk: SimulatedDisk | None = None,
@@ -261,10 +626,7 @@ def mine_rp_with_memory_budget(
     if memory_budget_bytes < 1:
         raise MiningError(f"memory budget must be positive, got {memory_budget_bytes}")
     disk = disk or SimulatedDisk(counters=counters)
-    if isinstance(compressed, CompressedDatabase):
-        groups = compressed_to_cgroups(compressed)
-    else:
-        groups = list(compressed)
+    groups = list(to_grouped(compressed).mining_groups())
     result = PatternSet()
     _mine_group_block(
         groups, (), min_support, memory_budget_bytes, disk, result, counters
@@ -275,7 +637,7 @@ def mine_rp_with_memory_budget(
 
 
 def _mine_group_block(
-    groups: list[CGroup],
+    groups: list[Group],
     prefix: tuple[int, ...],
     min_support: int,
     budget: int,
@@ -283,13 +645,7 @@ def _mine_group_block(
     result: PatternSet,
     counters: CostCounters | None,
 ) -> None:
-    stats = {
-        "group_counts": 0,
-        "tuple_scans": 0,
-        "item_visits": 0,
-        "projections": 0,
-        "single_group_enumerations": 0,
-    }
+    stats = new_kernel_stats()
     counts = count_group_supports(groups, stats)
     frequent = [i for i, c in counts.items() if c >= min_support]
     if counters is not None:
@@ -304,11 +660,11 @@ def _mine_group_block(
     # Estimate on the frequent-filtered structure — infrequent tail items
     # never enter the RP-Struct, exactly as H-Mine's estimate only counts
     # frequent occurrences.
-    stats2 = dict.fromkeys(stats, 0)
+    stats2 = new_kernel_stats()
     normalized = normalize_groups(groups, rank, stats2)
     estimate = estimate_rpstruct_bytes(normalized, len(frequent))
     if estimate <= budget:
-        mined = mine_rp(normalized, min_support, counters)
+        mined = mine_grouped(normalized, min_support, counters)
         for items, support in mined.items():
             result.add(prefix + tuple(items), support)
         return

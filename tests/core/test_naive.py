@@ -1,20 +1,17 @@
-"""Tests for the naive RP-Mine algorithm (Figure 3) and CGroup machinery."""
+"""Tests for the naive RP-Mine algorithm (Figure 3) and group machinery."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.compression import compress
+from repro.core.groups import Group, to_grouped
 from repro.core.naive import (
-    CGroup,
-    compressed_to_cgroups,
     count_group_supports,
-    database_to_cgroups,
     mine_rp,
     normalize_groups,
     project_groups,
 )
-from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
 from repro.mining.apriori import mine_apriori
@@ -73,16 +70,16 @@ class TestPaperExample3:
         assert fast == slow
 
 
-class TestCGroupHelpers:
-    def test_database_to_cgroups_roundtrip_mining(self, paper_db):
+class TestGroupHelpers:
+    def test_uncompressed_database_roundtrip_mining(self, paper_db):
         """Mining an uncompressed database wrapped as residual groups
         equals plain mining — the degenerate recycling case."""
-        groups = database_to_cgroups(paper_db)
+        groups = to_grouped(paper_db).mining_groups()
         assert mine_rp(groups, 2) == mine_apriori(paper_db, 2)
 
     def test_count_group_supports_uses_group_counts(self):
         stats = {"group_counts": 0, "tuple_scans": 0, "item_visits": 0}
-        groups = [CGroup((1, 2), 5, ((3,),))]
+        groups = [Group((1, 2), 5, ((3,),))]
         counts = count_group_supports(groups, stats)
         assert counts[1] == 5
         assert counts[2] == 5
@@ -93,8 +90,8 @@ class TestCGroupHelpers:
         stats = {"group_counts": 0, "tuple_scans": 0, "item_visits": 0}
         rank = {1: 0, 2: 1}
         groups = [
-            CGroup((1, 9), 2, ((2, 9),)),
-            CGroup((1,), 3, ()),
+            Group((1, 9), 2, ((2, 9),)),
+            Group((1,), 3, ()),
         ]
         normalized = normalize_groups(groups, rank, stats)
         assert len(normalized) == 1
@@ -108,16 +105,16 @@ class TestCGroupHelpers:
             ("group_counts", "tuple_scans", "item_visits", "projections"), 0
         )
         rank = {1: 0, 2: 1, 3: 2}
-        groups = [CGroup((1, 2), 4, ((3,), ()))]
+        groups = [Group((1, 2), 4, ((3,), ()))]
         projected = project_groups(groups, 1, rank, stats)
-        assert projected == [CGroup((2,), 4, ((3,),))]
+        assert projected == [Group((2,), 4, ((3,),))]
 
     def test_project_on_tail_item_moves_matching_tails_only(self):
         stats = dict.fromkeys(
             ("group_counts", "tuple_scans", "item_visits", "projections"), 0
         )
         rank = {1: 0, 2: 1, 3: 2}
-        groups = [CGroup((2,), 3, ((1, 3), (3,), (1,)))]
+        groups = [Group((2,), 3, ((1, 3), (3,), (1,)))]
         projected = project_groups(groups, 1, rank, stats)
         # Tails (1,3) and (1,) contain item 1; both keep pattern {2}.
         assert len(projected) == 1

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.compression import compress
-from repro.core.naive import CGroup
+from repro.core.groups import Group
 from repro.core.recycle_eclat import ALL, _intersect, _vertical_layout, mine_recycle_eclat
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
@@ -20,7 +20,7 @@ class TestAgainstPaperExample:
 
 class TestGroupedTidsets:
     def test_vertical_layout(self):
-        groups = [CGroup((1, 2), 3, ((3,), (4,)))]
+        groups = [Group((1, 2), 3, ((3,), (4,)))]
         tidsets, counts = _vertical_layout(groups)
         assert counts == [3]
         assert tidsets[1] == {0: ALL}
@@ -51,7 +51,7 @@ class TestGroupedTidsets:
 
     def test_pattern_pair_support_without_touching_tuples(self):
         """Two pattern items of a 1000-tuple group intersect in O(1)."""
-        groups = [CGroup((1, 2), 1000, ())]
+        groups = [Group((1, 2), 1000, ())]
         counters = CostCounters()
         patterns = mine_recycle_eclat(groups, 500, counters)
         assert patterns.support({1, 2}) == 1000
@@ -60,8 +60,8 @@ class TestGroupedTidsets:
 
     def test_mixed_groups_and_residual(self):
         groups = [
-            CGroup((1, 2), 2, ((3,),)),
-            CGroup((), 3, ((1, 3), (2,), (3,))),
+            Group((1, 2), 2, ((3,),)),
+            Group((), 3, ((1, 3), (2,), (3,))),
         ]
         # Content: (1,2,3), (1,2), (1,3), (2,), (3,).
         patterns = mine_recycle_eclat(groups, 2)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.compression import compress
-from repro.core.naive import CGroup
+from repro.core.groups import Group
 from repro.core.recycle_fptree import mine_recycle_fptree
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
@@ -27,7 +27,7 @@ class TestAgainstPaperExample:
 class TestTokenMechanics:
     def test_pure_token_tree_enumerates(self):
         """All tuples identical -> one token node -> direct enumeration."""
-        groups = [CGroup((1, 2, 3), 5, ())]
+        groups = [Group((1, 2, 3), 5, ())]
         counters = CostCounters()
         patterns = mine_recycle_fptree(groups, 3, counters)
         assert len(patterns) == 7
@@ -37,7 +37,7 @@ class TestTokenMechanics:
     def test_token_plus_chain_single_branch(self):
         """A token with one shared tail chain hits the generalized
         single-path shortcut: subsets of implied x chain items."""
-        groups = [CGroup((1, 2), 4, ((3,), (3,), (3,)))]
+        groups = [Group((1, 2), 4, ((3,), (3,), (3,)))]
         patterns = mine_recycle_fptree(groups, 3, CostCounters())
         assert patterns.support({1}) == 4
         assert patterns.support({1, 2}) == 4
@@ -46,7 +46,7 @@ class TestTokenMechanics:
 
     def test_short_group_patterns_folded_into_path(self):
         """Length-1 group heads are inlined (no token), results identical."""
-        groups = [CGroup((1,), 3, ((2,), (2,), ()))]
+        groups = [Group((1,), 3, ((2,), (2,), ()))]
         patterns = mine_recycle_fptree(groups, 2)
         assert patterns.support({1}) == 3
         assert patterns.support({1, 2}) == 2
@@ -55,8 +55,8 @@ class TestTokenMechanics:
         """An item that never appears as an explicit node must still be
         counted and extended through the token registry."""
         groups = [
-            CGroup((1, 2), 3, ()),
-            CGroup((1, 3), 3, ()),
+            Group((1, 2), 3, ()),
+            Group((1, 3), 3, ()),
         ]
         patterns = mine_recycle_fptree(groups, 3)
         assert patterns.support({1}) == 6
@@ -66,8 +66,8 @@ class TestTokenMechanics:
 
     def test_mixed_tokens_and_residual_tuples(self):
         groups = [
-            CGroup((1, 2), 2, ((4,),)),
-            CGroup((), 3, ((1, 4), (2, 4), (4,))),
+            Group((1, 2), 2, ((4,),)),
+            Group((), 3, ((1, 4), (2, 4), (4,))),
         ]
         patterns = mine_recycle_fptree(groups, 3)
         assert patterns.support({4}) == 4

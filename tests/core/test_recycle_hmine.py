@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.compression import compress
-from repro.core.naive import CGroup
+from repro.core.groups import Group
 from repro.core.recycle_hmine import cgroups_to_records, mine_recycle_hmine
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
@@ -45,7 +45,7 @@ class TestPaperExample5:
 class TestRecordConstruction:
     def test_infrequent_items_dropped_from_records(self):
         grank = {1: 0, 2: 1}
-        groups = [CGroup((1, 9), 2, ((2, 8), (8,)))]
+        groups = [Group((1, 9), 2, ((2, 8), (8,)))]
         records = cgroups_to_records(groups, grank)
         assert len(records) == 1
         record = records[0]
@@ -55,12 +55,12 @@ class TestRecordConstruction:
 
     def test_fully_infrequent_group_dropped(self):
         grank = {5: 0}
-        groups = [CGroup((9,), 3, ((8,),))]
+        groups = [Group((9,), 3, ((8,),))]
         assert cgroups_to_records(groups, grank) == []
 
     def test_patterns_sorted_by_rank_not_id(self):
         grank = {3: 0, 1: 1}
-        groups = [CGroup((1, 3), 2, ())]
+        groups = [Group((1, 3), 2, ())]
         records = cgroups_to_records(groups, grank)
         assert records[0].pattern == (3, 1)
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.compression import compress
-from repro.core.naive import CGroup
+from repro.core.groups import Group
 from repro.core.recycle_treeprojection import mine_recycle_treeprojection
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
@@ -22,7 +22,7 @@ class TestMatrixCounting:
     def test_pattern_pairs_counted_once_per_group(self):
         """A k-item group pattern contributes k*(k-1)/2 matrix updates
         regardless of its count — the group saving."""
-        groups = [CGroup((1, 2, 3), 100, ())]
+        groups = [Group((1, 2, 3), 100, ())]
         counters = CostCounters()
         patterns = mine_recycle_treeprojection(groups, 50, counters)
         assert patterns.support({1, 2, 3}) == 100
@@ -31,7 +31,7 @@ class TestMatrixCounting:
         assert counters.tuple_scans < 10
 
     def test_tail_pattern_cross_pairs(self):
-        groups = [CGroup((1,), 2, ((2,), (3,)))]
+        groups = [Group((1,), 2, ((2,), (3,)))]
         # Content: (1,2) and (1,3).
         patterns = mine_recycle_treeprojection(groups, 1)
         assert patterns.support({1, 2}) == 1
@@ -39,7 +39,7 @@ class TestMatrixCounting:
         assert {2, 3} not in patterns
 
     def test_single_group_shortcut(self):
-        groups = [CGroup((4, 5, 6, 7), 9, ())]
+        groups = [Group((4, 5, 6, 7), 9, ())]
         counters = CostCounters()
         patterns = mine_recycle_treeprojection(groups, 5, counters)
         assert len(patterns) == 15
@@ -61,8 +61,8 @@ class TestMatrixCounting:
     def test_groups_merged_at_root(self):
         """Two groups with the same frequent-filtered pattern merge."""
         groups = [
-            CGroup((1, 2, 9), 2, ()),   # 9 infrequent at xi=3
-            CGroup((1, 2), 2, ()),
+            Group((1, 2, 9), 2, ()),   # 9 infrequent at xi=3
+            Group((1, 2), 2, ()),
         ]
         patterns = mine_recycle_treeprojection(groups, 3)
         assert patterns.support({1, 2}) == 4

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.naive import CGroup
+from repro.core.groups import Group
 from repro.errors import StorageError
 from repro.metrics.counters import CostCounters
 from repro.storage.disk import (
@@ -23,7 +23,7 @@ class TestByteSizing:
         assert size == 4 * ITEM_BYTES + 2 * RECORD_OVERHEAD_BYTES
 
     def test_cgroups_store_pattern_once(self):
-        grouped = cgroups_byte_size([CGroup((1, 2), 3, ((3,), (4,), ()))])
+        grouped = cgroups_byte_size([Group((1, 2), 3, ((3,), (4,), ()))])
         # Pattern(2 items) + 2 record headers + tails: (1+1 items + 2
         # headers) + one empty tail header.
         flat = transactions_byte_size([(1, 2, 3), (1, 2, 4), (1, 2)])

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.naive import CGroup
+from repro.core.groups import Group
 from repro.errors import StorageError
 from repro.storage.memory import (
     ENTRY_BYTES,
@@ -34,14 +34,14 @@ class TestRPStructEstimate:
     def test_group_pattern_amortized(self):
         """The same content costs less as a group: pattern stored once."""
         grouped = estimate_rpstruct_bytes(
-            [CGroup((1, 2, 3), 50, tuple((9,) for _ in range(50)))], item_count=4
+            [Group((1, 2, 3), 50, tuple((9,) for _ in range(50)))], item_count=4
         )
         flat = estimate_transactions_bytes([(1, 2, 3, 9)] * 50, item_count=4)
         assert grouped < flat
 
     def test_monotone_in_tail_length(self):
-        short = estimate_rpstruct_bytes([CGroup((1,), 2, ((2,),))], 2)
-        long = estimate_rpstruct_bytes([CGroup((1,), 2, ((2, 3, 4),))], 2)
+        short = estimate_rpstruct_bytes([Group((1,), 2, ((2,),))], 2)
+        long = estimate_rpstruct_bytes([Group((1,), 2, ((2, 3, 4),))], 2)
         assert long > short
 
 

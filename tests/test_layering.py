@@ -1,0 +1,89 @@
+"""Architectural layering contract, enforced with the ast module.
+
+The package layers one way (see docs/architecture.md):
+
+    repro.data  ->  repro.core / repro.mining / repro.storage  ->  repro.service
+
+Concretely: ``repro.data`` must import nothing from the layers above it,
+and ``repro.core`` must never reach up into ``repro.service``. The check
+walks every module's import statements (including function-local ones —
+a lazy import is still a dependency), so a violation fails CI whether or
+not any test happens to trigger the import at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: importing package prefix -> package prefixes it must not import.
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "repro.data": ("repro.core", "repro.mining", "repro.service", "repro.storage"),
+    "repro.core": ("repro.service",),
+    "repro.mining": ("repro.service",),
+    "repro.storage": ("repro.service",),
+}
+
+
+def module_name(path: Path) -> str:
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def imported_modules(path: Path) -> set[str]:
+    """Every module name this file imports, resolved to absolute form."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    name = module_name(path)
+    package_parts = name.split(".")
+    if path.name != "__init__.py":
+        package_parts = package_parts[:-1]
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import -> resolve against the package
+                base = package_parts[: len(package_parts) - node.level + 1]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if prefix:
+                found.add(prefix)
+                found.update(f"{prefix}.{alias.name}" for alias in node.names)
+    return found
+
+
+def _within(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+@pytest.mark.parametrize("layer", sorted(FORBIDDEN))
+def test_layer_imports_nothing_from_upper_layers(layer):
+    violations: list[str] = []
+    for path in sorted(SRC.glob("repro/**/*.py")):
+        name = module_name(path)
+        if not _within(name, layer):
+            continue
+        for imported in sorted(imported_modules(path)):
+            for forbidden in FORBIDDEN[layer]:
+                if _within(imported, forbidden):
+                    violations.append(f"{name} imports {imported}")
+    assert not violations, (
+        f"layering violation(s) — {layer} must not depend on "
+        f"{FORBIDDEN[layer]}:\n  " + "\n  ".join(violations)
+    )
+
+
+def test_every_source_module_is_parseable():
+    """The walk above silently proves nothing if glob finds nothing."""
+    paths = list(SRC.glob("repro/**/*.py"))
+    assert len(paths) > 30
+    for path in paths:
+        ast.parse(path.read_text(), filename=str(path))
