@@ -66,10 +66,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 def _command_mine(args: argparse.Namespace) -> int:
     db = _load_database(args)
     support = _absolute_support(db, args.support)
-    miner = get_miner(args.algorithm, kind="baseline").fn
     counters = CostCounters()
     started = time.perf_counter()
-    patterns = miner(db, support, counters)
+    if args.jobs > 1:
+        from repro.parallel import parallel_mine
+
+        patterns = parallel_mine(
+            db, support, args.jobs, algorithm=args.algorithm, counters=counters
+        )
+    else:
+        miner = get_miner(args.algorithm, kind="baseline").fn
+        patterns = miner(db, support, counters)
     elapsed = time.perf_counter() - started
     print(
         f"{args.algorithm}: {len(patterns)} patterns (max length "
@@ -114,7 +121,7 @@ def _command_recycle(args: argparse.Namespace) -> int:
     outcome = recycle_mine_detailed(
         db, old_patterns, support,
         algorithm=args.algorithm, strategy=args.strategy, counters=counters,
-        backend=args.backend,
+        backend=args.backend, jobs=args.jobs,
     )
     elapsed = time.perf_counter() - started
     print(
@@ -151,6 +158,17 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     from repro.service.workload import load_workload, serve_workload
 
     requests = load_workload(args.workload)
+    if args.jobs > 1:
+        import dataclasses
+
+        # The CLI value is a default: requests that set their own jobs
+        # in the workload file keep it.
+        requests = [
+            dataclasses.replace(request, jobs=args.jobs)
+            if request.jobs == 1
+            else request
+            for request in requests
+        ]
     warehouse = (
         None
         if args.cold
@@ -188,6 +206,11 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"p50 {stats['latency_p50_s']:.4f}s, p95 {stats['latency_p95_s']:.4f}s"
     )
     print(summary)
+    if stats["parallel_runs"] or stats["parallel_fallbacks"]:
+        print(
+            f"parallel: {stats['parallel_runs']:.0f} sharded runs, "
+            f"{stats['parallel_fallbacks']:.0f} fallbacks to in-process"
+        )
     if warehouse is not None:
         wh = warehouse.stats()
         print(
@@ -239,6 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="min support (fraction <= 1.0, or absolute count)")
     mine.add_argument("--algorithm", default="hmine",
                       choices=miner_names("baseline"))
+    mine.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for sharded mining (default 1)")
     mine.add_argument("--output", help="write patterns to this file")
     mine.set_defaults(handler=_command_mine)
 
@@ -263,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     recycle.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
     recycle.add_argument("--backend", default="bitset", choices=("bitset", "python"),
                          help="group-claiming / mining backend")
+    recycle.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for sharded Phase 2 (default 1)")
     recycle.add_argument("--output", help="write patterns to this file")
     recycle.set_defaults(handler=_command_recycle)
 
@@ -288,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warehouse byte budget (default: unbounded)")
     serve.add_argument("--warehouse-dir", default=None,
                        help="directory for a disk-backed (persistent) warehouse")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="default worker processes per request "
+                            "(workload entries may override)")
     serve.add_argument("--cold", action="store_true",
                        help="disable the warehouse (every request mines)")
     serve.set_defaults(handler=_command_serve_batch)

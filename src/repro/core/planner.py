@@ -75,6 +75,7 @@ def execute_plan(
     strategy: str = "mcp",
     counters: CostCounters | None = None,
     backend: str = "bitset",
+    jobs: int = 1,
 ) -> PatternSet:
     """Carry out ``plan``, returning the full pattern set at ``new_support``.
 
@@ -82,6 +83,9 @@ def execute_plan(
     ``"naive"``); the recycling path resolves it to a recycling
     adaptation via :func:`resolve_recycling_algorithm`. ``backend``
     selects the compression claiming implementation on that path.
+    ``jobs > 1`` fans the recycle and mine paths out through the sharded
+    engine (:mod:`repro.parallel`); the filter path never mines, so it
+    never shards.
     """
     if plan.path == PATH_FILTER:
         assert plan.feedstock is not None
@@ -98,9 +102,16 @@ def execute_plan(
             strategy=strategy,
             counters=counters,
             backend=backend,
+            jobs=jobs,
         )
         return outcome.patterns
     name = resolve_baseline_algorithm(algorithm)
+    if jobs > 1:
+        from repro.parallel import ParallelEngine
+
+        return ParallelEngine(jobs).mine(
+            db, new_support, algorithm=name, counters=counters, backend=backend
+        ).patterns
     return get_miner(name, kind="baseline").mine(db, new_support, counters)
 
 

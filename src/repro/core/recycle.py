@@ -61,6 +61,7 @@ def recycle_mine(
     strategy: CompressionStrategy | str = "mcp",
     counters: CostCounters | None = None,
     backend: str = "bitset",
+    jobs: int = 1,
 ) -> PatternSet:
     """Phase 1 + Phase 2: compress ``db`` with ``old_patterns``, then mine.
 
@@ -69,10 +70,12 @@ def recycle_mine(
     recycling changes the cost, never the answer. ``backend`` selects the
     Phase 1 claiming implementation (both backends produce bit-identical
     groups; the grouped output always carries the encoded view the
-    bitset mining kernel needs).
+    bitset mining kernel needs). ``jobs > 1`` runs Phase 2 through the
+    sharded engine of :mod:`repro.parallel` — same answer, two-pass
+    partition scheme across worker processes.
     """
     return recycle_mine_detailed(
-        db, old_patterns, min_support, algorithm, strategy, counters, backend
+        db, old_patterns, min_support, algorithm, strategy, counters, backend, jobs
     ).patterns
 
 
@@ -84,12 +87,33 @@ def recycle_mine_detailed(
     strategy: CompressionStrategy | str = "mcp",
     counters: CostCounters | None = None,
     backend: str = "bitset",
+    jobs: int = 1,
 ) -> RecycleOutcome:
     """Like :func:`recycle_mine` but also returns compression statistics."""
     spec = get_miner_spec(algorithm)
     if len(old_patterns) == 0:
         raise RecycleError(
             "no patterns to recycle — mine with a baseline algorithm instead"
+        )
+    if jobs > 1:
+        # The deliberate upward edge: core reaches into repro.parallel
+        # only here, lazily, mirroring how the sharded engine reaches
+        # back down into the planner inside its workers.
+        from repro.parallel import ParallelEngine
+
+        strategy_name = strategy if isinstance(strategy, str) else strategy.name
+        outcome = ParallelEngine(jobs).recycle_mine(
+            db,
+            old_patterns,
+            min_support,
+            algorithm=algorithm,
+            strategy=strategy_name,
+            counters=counters,
+            backend=backend,
+        )
+        assert outcome.compression is not None
+        return RecycleOutcome(
+            patterns=outcome.patterns, compression=outcome.compression
         )
     compression = compress(db, old_patterns, strategy, counters, backend=backend)
     patterns = spec.mine(compression.compressed, min_support, counters)

@@ -76,6 +76,10 @@ class MiningSession:
     backend:
         Compression claiming backend for the recycling path ("bitset"
         word-parallel default, "python" reference loops).
+    jobs:
+        Worker processes for the mining paths (``1`` = in-process; more
+        fans out through the sharded engine of :mod:`repro.parallel`,
+        same results either way).
     """
 
     def __init__(
@@ -85,14 +89,18 @@ class MiningSession:
         strategy: str = "mcp",
         item_table: ItemTable | None = None,
         backend: str = "bitset",
+        jobs: int = 1,
     ) -> None:
         if algorithm != "naive" and not has_miner(algorithm, kind="baseline"):
             known = ", ".join(miner_names("baseline"))
             raise RecycleError(f"unknown algorithm {algorithm!r} (known: {known}, naive)")
+        if jobs < 1:
+            raise RecycleError(f"jobs must be >= 1, got {jobs}")
         self.db = db
         self.algorithm = algorithm
         self.strategy = strategy
         self.backend = backend
+        self.jobs = jobs
         self.context = ConstraintContext(
             db_size=len(db), item_table=item_table or ItemTable()
         )
@@ -136,6 +144,7 @@ class MiningSession:
             strategy=self.strategy,
             counters=counters,
             backend=self.backend,
+            jobs=self.jobs,
         )
 
         result = constraints.filter_patterns(support_patterns, self.context)

@@ -101,12 +101,25 @@ def parse_patterns(handle: TextIO) -> PatternSet:
     return patterns
 
 
+def canonical_pattern_rows(patterns: PatternSet) -> list[tuple[tuple[int, ...], int]]:
+    """``(sorted_items, support)`` rows in the canonical file order.
+
+    Sorted by items first, then support — the one ordering every pattern
+    writer uses, so shard-merged outputs, warehouse dumps and golden
+    files diff cleanly regardless of mining backend or job count.
+    """
+    return sorted(
+        ((tuple(sorted(items)), support) for items, support in patterns.items()),
+        key=lambda row: (row[0], row[1]),
+    )
+
+
 def write_patterns(patterns: PatternSet, path: str | Path) -> None:
-    """Persist a pattern set, sorted for deterministic output."""
+    """Persist a pattern set in canonical order (items, then support)."""
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
-        for items, support in sorted(patterns.items(), key=lambda kv: (sorted(kv[0]), kv[1])):
-            handle.write(" ".join(str(i) for i in sorted(items)))
+        for items, support in canonical_pattern_rows(patterns):
+            handle.write(" ".join(str(i) for i in items))
             handle.write(f" : {support}\n")
 
 
@@ -129,10 +142,8 @@ def write_patterns_with_support(
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(f"{SUPPORT_HEADER_PREFIX}{absolute_support}\n")
-            for items, support in sorted(
-                patterns.items(), key=lambda kv: (sorted(kv[0]), kv[1])
-            ):
-                handle.write(" ".join(str(i) for i in sorted(items)))
+            for items, support in canonical_pattern_rows(patterns):
+                handle.write(" ".join(str(i) for i in items))
                 handle.write(f" : {support}\n")
         os.replace(tmp_name, path)
     except BaseException:

@@ -198,12 +198,16 @@ class TransactionDatabase:
     def relative_to_absolute(self, min_support: float) -> int:
         """Convert a relative min-support in (0, 1] to an absolute count.
 
-        Integers and floats >= 1 pass through unchanged so callers can use
-        either convention. The absolute threshold is rounded up, matching
-        the usual "support greater than or equal to" semantics on fractions.
+        The type disambiguates the boundary: a *float* in ``(0, 1]`` is a
+        relative fraction (``1.0`` means 100% — every transaction), while
+        an *int* is an absolute count (``1`` means one transaction).
+        Floats above 1 and all other ints pass through as absolute
+        counts, so callers can use either convention. The absolute
+        threshold is rounded up, matching the usual "support greater than
+        or equal to" semantics on fractions.
         """
         if min_support <= 0:
             raise DataError(f"min_support must be positive, got {min_support}")
-        if min_support < 1:
+        if isinstance(min_support, float) and min_support <= 1.0:
             return max(1, math.ceil(min_support * len(self)))
         return int(min_support)

@@ -39,3 +39,7 @@ class StorageError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for unknown experiments or workloads."""
+
+
+class ParallelError(ReproError):
+    """Raised by the sharded engine for worker crashes and deadline misses."""

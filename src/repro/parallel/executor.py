@@ -1,0 +1,523 @@
+"""The process-pool engine driving the two-pass partition scheme.
+
+One parallel run is: Phase 1 once in the calling process (compression is
+cheap and produces the :class:`~repro.core.groups.GroupedDatabase` the
+:class:`~repro.parallel.sharding.ShardPlanner` splits), then one
+:class:`ShardTask` per shard shipped to a ``ProcessPoolExecutor`` worker,
+then the merge pass (:mod:`repro.parallel.merge`) back in the caller.
+
+Every payload that crosses the process boundary is deliberately boring:
+a :class:`ShardTask` pickles down to plain tuples (the shard rebuilds its
+database and masks lazily on the far side), and a worker answers with a
+plain dict of tuples — patterns as ``((items...), support)`` pairs and
+its :class:`~repro.metrics.counters.CostCounters` as a name→int dict,
+rebuilt and merged via ``CostCounters.merge`` on return.
+
+Inside a worker the existing planner trichotomy applies: a shard that
+arrives with warehouse feedstock (sliced per shard fingerprint by the
+service) runs :func:`~repro.core.planner.plan_support_path` /
+``execute_plan`` — filter, recycle or mine, whichever is cheapest and
+sound *for that shard* — while a shard without feedstock mines its slice
+of the grouped database directly with the chosen recycling miner (the
+groups were compressed once, globally) or a baseline miner when there was
+nothing to recycle.
+
+Failure is not an error: a worker crash, a raised exception or a missed
+deadline makes the engine fall back to the equivalent in-process path,
+recording ``parallel_fallbacks`` in the counters and the reason on the
+outcome, so a parallel call can never produce worse results than a
+serial one — only, at worst, the same results later.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pickle
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.compression import CompressionResult, compress
+from repro.core.groups import GroupedDatabase
+from repro.core.planner import (
+    PATH_FILTER,
+    PATH_MINE,
+    PATH_RECYCLE,
+    execute_plan,
+    plan_support_path,
+    resolve_baseline_algorithm,
+    resolve_recycling_algorithm,
+)
+from repro.data.io import canonical_pattern_rows
+from repro.data.patterns import PatternSet
+from repro.data.transactions import TransactionDatabase
+from repro.errors import ParallelError
+from repro.metrics.counters import CostCounters
+from repro.mining.registry import get_miner
+from repro.parallel.merge import MergeResult, merge_shard_patterns
+from repro.parallel.sharding import Shard, ShardPlanner
+
+#: Serialized pattern set: ((sorted items...), support) pairs.
+PatternRows = tuple[tuple[tuple[int, ...], int], ...]
+
+#: Optional per-shard feedstock source: (fingerprint, local_support) ->
+#: (patterns, absolute_support) or None. The service wires this to
+#: ``PatternWarehouse.best_feedstock``.
+ShardFeedstockFn = Callable[[str, int], "tuple[PatternSet, int] | None"]
+
+#: Optional sink for fresh shard results: (fingerprint, local_support,
+#: patterns). The service wires this to ``PatternWarehouse.put``.
+ShardResultFn = Callable[[str, int, PatternSet], None]
+
+
+def patterns_to_rows(patterns: PatternSet) -> PatternRows:
+    """A pickle-friendly rendering of a pattern set, in canonical order."""
+    return tuple(canonical_pattern_rows(patterns))
+
+
+def rows_to_patterns(rows: Iterable[tuple[tuple[int, ...], int]]) -> PatternSet:
+    """Inverse of :func:`patterns_to_rows`."""
+    patterns = PatternSet()
+    for items, support in rows:
+        patterns.add(frozenset(items), support)
+    return patterns
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, in pickle-friendly form.
+
+    Exactly one of three modes applies, mirroring the planner trichotomy:
+    ``feedstock`` present → the worker runs the full filter/recycle/mine
+    plan against its shard database; ``scratch`` → baseline mining (the
+    global run had nothing to recycle); otherwise the shard groups *are*
+    the compressed database and the recycling miner consumes them
+    directly. ``fail`` is a test hook simulating a worker crash.
+    """
+
+    shard: Shard
+    local_support: int
+    algorithm: str = "hmine"
+    strategy: str = "mcp"
+    backend: str = "bitset"
+    single_group_shortcut: bool = True
+    feedstock: PatternRows | None = None
+    feedstock_support: int | None = None
+    scratch: bool = False
+    fail: bool = False
+
+
+def run_shard_task(task: ShardTask) -> dict[str, object]:
+    """Mine one shard at its scaled local support (runs in a worker).
+
+    Top-level (picklable by reference) and returning only plain data, so
+    it works identically under ``ProcessPoolExecutor`` and the inline
+    executor the property tests use.
+    """
+    if task.fail:
+        raise ParallelError(
+            f"injected failure in shard {task.shard.index} (test hook)"
+        )
+    counters = CostCounters()
+    started = time.perf_counter()
+    shard = task.shard
+    if task.feedstock is not None:
+        feedstock = rows_to_patterns(task.feedstock)
+        plan = plan_support_path(
+            task.local_support, feedstock, task.feedstock_support
+        )
+        patterns = execute_plan(
+            plan,
+            shard.database(),
+            task.local_support,
+            algorithm=task.algorithm,
+            strategy=task.strategy,
+            counters=counters,
+            backend=task.backend,
+        )
+        path = plan.path
+    elif task.scratch:
+        name = resolve_baseline_algorithm(task.algorithm)
+        patterns = get_miner(name, kind="baseline").mine(
+            shard.database(), task.local_support, counters
+        )
+        path = PATH_MINE
+    else:
+        spec = get_miner(
+            resolve_recycling_algorithm(task.algorithm), kind="recycling"
+        )
+        kwargs: dict[str, object] = {}
+        accepted = inspect.signature(spec.fn).parameters
+        if "single_group_shortcut" in accepted:
+            kwargs["single_group_shortcut"] = task.single_group_shortcut
+        if "backend" in accepted:
+            kwargs["backend"] = (
+                task.backend if task.backend in ("python", "bitset") else None
+            )
+        patterns = spec.fn(shard.grouped(), task.local_support, counters, **kwargs)
+        path = PATH_RECYCLE
+    elapsed = time.perf_counter() - started
+    return {
+        "index": shard.index,
+        "fingerprint": shard.fingerprint(),
+        "path": path,
+        "local_support": task.local_support,
+        "tuple_count": shard.tuple_count,
+        "elapsed_seconds": elapsed,
+        "patterns": patterns_to_rows(patterns),
+        "counters": counters.as_dict(),
+    }
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One worker's report, as the caller keeps it."""
+
+    index: int
+    fingerprint: str
+    path: str
+    local_support: int
+    tuple_count: int
+    elapsed_seconds: float
+    pattern_count: int
+
+
+@dataclass(frozen=True)
+class ParallelOutcome:
+    """Everything a parallel run produced, for reporting and testing.
+
+    ``patterns`` is always the exact global answer. ``jobs`` is the
+    effective shard count actually mined (1 when the engine short-
+    circuited to the in-process path); ``fallback`` records that workers
+    were attempted but failed and the serial path answered instead.
+    ``critical_path_seconds`` models the wall-clock of an ideally
+    parallel execution: Phase 1 + the slowest shard + the merge — the
+    number a single-core host can still report honestly.
+    """
+
+    patterns: PatternSet
+    path: str
+    requested_jobs: int
+    jobs: int
+    shards: tuple[ShardOutcome, ...] = ()
+    merge: MergeResult | None = None
+    compression: CompressionResult | None = None
+    fallback: bool = False
+    fallback_reason: str | None = None
+    elapsed_seconds: float = 0.0
+    critical_path_seconds: float = 0.0
+
+
+class ParallelEngine:
+    """Shard → mine → merge, with a serial fallback that cannot lose.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count requested (the planner may produce fewer
+        shards on small inputs).
+    timeout_seconds:
+        Deadline for the whole shard pass; missing it triggers the
+        in-process fallback.
+    executor:
+        ``"process"`` (real ``ProcessPoolExecutor``) or ``"inline"``
+        (same tasks, same pickling round-trip, run sequentially in this
+        process — what the equivalence tests use to cover the worker
+        code path cheaply).
+    shard_feedstock / on_shard_result:
+        Warehouse hooks: slice recycling feedstock per shard fingerprint
+        going out, bank fresh per-shard results coming back.
+    failure_injection:
+        Shard indices whose tasks raise inside the worker (test hook for
+        the crash-fallback path).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        timeout_seconds: float | None = None,
+        executor: str = "process",
+        shard_feedstock: ShardFeedstockFn | None = None,
+        on_shard_result: ShardResultFn | None = None,
+        failure_injection: Iterable[int] = (),
+    ) -> None:
+        if jobs < 1:
+            raise ParallelError(f"jobs must be >= 1, got {jobs}")
+        if executor not in ("process", "inline"):
+            raise ParallelError(
+                f"unknown executor {executor!r} (known: process, inline)"
+            )
+        self.jobs = jobs
+        self.timeout_seconds = timeout_seconds
+        self.executor = executor
+        self.shard_feedstock = shard_feedstock
+        self.on_shard_result = on_shard_result
+        self.failure_injection = frozenset(failure_injection)
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def recycle_mine(
+        self,
+        db: TransactionDatabase,
+        old_patterns: PatternSet,
+        min_support: int,
+        algorithm: str = "hmine",
+        strategy: str = "mcp",
+        counters: CostCounters | None = None,
+        backend: str = "bitset",
+        single_group_shortcut: bool = True,
+    ) -> ParallelOutcome:
+        """Parallel Phase 2: compress once, mine shards, merge exactly."""
+        started = time.perf_counter()
+        compression = compress(
+            db, old_patterns, strategy, counters, backend=backend
+        )
+        phase1 = time.perf_counter() - started
+
+        def serial() -> PatternSet:
+            spec = get_miner(
+                resolve_recycling_algorithm(algorithm), kind="recycling"
+            )
+            return spec.mine(compression.compressed, min_support, counters)
+
+        return self._run(
+            grouped=compression.compressed,
+            min_support=min_support,
+            algorithm=algorithm,
+            strategy=strategy,
+            backend=backend,
+            single_group_shortcut=single_group_shortcut,
+            scratch=False,
+            counters=counters,
+            serial=serial,
+            path=PATH_RECYCLE,
+            compression=compression,
+            started=started,
+            phase1_seconds=phase1,
+        )
+
+    def mine(
+        self,
+        db: TransactionDatabase,
+        min_support: int,
+        algorithm: str = "hmine",
+        strategy: str = "mcp",
+        counters: CostCounters | None = None,
+        backend: str = "bitset",
+    ) -> ParallelOutcome:
+        """Parallel from-scratch mining (no feedstock, one residual group)."""
+        started = time.perf_counter()
+        grouped = GroupedDatabase.from_database(db)
+
+        def serial() -> PatternSet:
+            name = resolve_baseline_algorithm(algorithm)
+            return get_miner(name, kind="baseline").mine(
+                db, min_support, counters
+            )
+
+        return self._run(
+            grouped=grouped,
+            min_support=min_support,
+            algorithm=algorithm,
+            strategy=strategy,
+            backend=backend,
+            single_group_shortcut=True,
+            scratch=True,
+            counters=counters,
+            serial=serial,
+            path=PATH_MINE,
+            compression=None,
+            started=started,
+            phase1_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # the shared shard → mine → merge pipeline
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        *,
+        grouped: GroupedDatabase,
+        min_support: int,
+        algorithm: str,
+        strategy: str,
+        backend: str,
+        single_group_shortcut: bool,
+        scratch: bool,
+        counters: CostCounters | None,
+        serial: Callable[[], PatternSet],
+        path: str,
+        compression: CompressionResult | None,
+        started: float,
+        phase1_seconds: float,
+    ) -> ParallelOutcome:
+        total = grouped.tuple_count()
+        plan = None
+        if self.jobs > 1 and total >= max(2, self.jobs):
+            plan = ShardPlanner(self.jobs).plan(grouped)
+        if plan is None or plan.effective_jobs <= 1:
+            patterns = serial()
+            elapsed = time.perf_counter() - started
+            return ParallelOutcome(
+                patterns=patterns,
+                path=path,
+                requested_jobs=self.jobs,
+                jobs=1,
+                compression=compression,
+                elapsed_seconds=elapsed,
+                critical_path_seconds=elapsed,
+            )
+
+        tasks = []
+        for shard in plan.shards:
+            local = plan.local_support(shard, min_support)
+            feedstock_rows: PatternRows | None = None
+            feedstock_support: int | None = None
+            if self.shard_feedstock is not None:
+                hit = self.shard_feedstock(shard.fingerprint(), local)
+                if hit is not None:
+                    feedstock_rows = patterns_to_rows(hit[0])
+                    feedstock_support = hit[1]
+            tasks.append(
+                ShardTask(
+                    shard=shard,
+                    local_support=local,
+                    algorithm=algorithm,
+                    strategy=strategy,
+                    backend=backend,
+                    single_group_shortcut=single_group_shortcut,
+                    feedstock=feedstock_rows,
+                    feedstock_support=feedstock_support,
+                    scratch=scratch,
+                    fail=shard.index in self.failure_injection,
+                )
+            )
+
+        try:
+            results = self._execute(tasks)
+        except Exception as exc:
+            if counters is not None:
+                counters.add("parallel_fallbacks")
+            patterns = serial()
+            elapsed = time.perf_counter() - started
+            return ParallelOutcome(
+                patterns=patterns,
+                path=path,
+                requested_jobs=self.jobs,
+                jobs=1,
+                compression=compression,
+                fallback=True,
+                fallback_reason=f"{type(exc).__name__}: {exc}",
+                elapsed_seconds=elapsed,
+                critical_path_seconds=elapsed,
+            )
+
+        merge_started = time.perf_counter()
+        shard_patterns = [rows_to_patterns(r["patterns"]) for r in results]
+        merge = merge_shard_patterns(
+            shard_patterns, grouped, min_support, counters
+        )
+        merge_seconds = time.perf_counter() - merge_started
+
+        outcomes = []
+        for result, patterns in zip(results, shard_patterns):
+            outcomes.append(
+                ShardOutcome(
+                    index=result["index"],
+                    fingerprint=result["fingerprint"],
+                    path=result["path"],
+                    local_support=result["local_support"],
+                    tuple_count=result["tuple_count"],
+                    elapsed_seconds=result["elapsed_seconds"],
+                    pattern_count=len(patterns),
+                )
+            )
+            if counters is not None:
+                worker = CostCounters()
+                for name, amount in result["counters"].items():
+                    worker.add(name, amount)
+                counters.merge(worker)
+            if self.on_shard_result is not None and result["path"] != PATH_FILTER:
+                self.on_shard_result(
+                    result["fingerprint"], result["local_support"], patterns
+                )
+        if counters is not None:
+            counters.add("parallel_runs")
+            counters.add("parallel_shards", len(outcomes))
+
+        elapsed = time.perf_counter() - started
+        slowest = max(o.elapsed_seconds for o in outcomes)
+        return ParallelOutcome(
+            patterns=merge.patterns,
+            path=path,
+            requested_jobs=self.jobs,
+            jobs=len(outcomes),
+            shards=tuple(sorted(outcomes, key=lambda o: o.index)),
+            merge=merge,
+            compression=compression,
+            elapsed_seconds=elapsed,
+            critical_path_seconds=phase1_seconds + slowest + merge_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # executors
+    # ------------------------------------------------------------------
+    def _execute(self, tasks: list[ShardTask]) -> list[dict[str, object]]:
+        if self.executor == "inline":
+            # Same worker function, same pickling round-trip, no
+            # processes — the cheap way to exercise the exact shard code
+            # path deterministically (property tests, 1-core hosts).
+            return [
+                run_shard_task(pickle.loads(pickle.dumps(task)))
+                for task in tasks
+            ]
+        deadline = self.timeout_seconds
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks))
+        ) as pool:
+            futures = [pool.submit(run_shard_task, task) for task in tasks]
+            done, pending = wait(
+                futures, timeout=deadline, return_when=FIRST_EXCEPTION
+            )
+            if pending:
+                for future in pending:
+                    future.cancel()
+                raise ParallelError(
+                    f"shard pass missed its {deadline}s deadline "
+                    f"({len(pending)} of {len(futures)} shards unfinished)"
+                )
+            return [future.result() for future in futures]
+
+
+def parallel_recycle_mine(
+    db: TransactionDatabase,
+    old_patterns: PatternSet,
+    min_support: int,
+    jobs: int,
+    algorithm: str = "hmine",
+    strategy: str = "mcp",
+    counters: CostCounters | None = None,
+    backend: str = "bitset",
+    **engine_kwargs: object,
+) -> PatternSet:
+    """One-call parallel recycling; see :class:`ParallelEngine`."""
+    engine = ParallelEngine(jobs, **engine_kwargs)  # type: ignore[arg-type]
+    return engine.recycle_mine(
+        db, old_patterns, min_support, algorithm, strategy, counters, backend
+    ).patterns
+
+
+def parallel_mine(
+    db: TransactionDatabase,
+    min_support: int,
+    jobs: int,
+    algorithm: str = "hmine",
+    counters: CostCounters | None = None,
+    **engine_kwargs: object,
+) -> PatternSet:
+    """One-call parallel from-scratch mining; see :class:`ParallelEngine`."""
+    engine = ParallelEngine(jobs, **engine_kwargs)  # type: ignore[arg-type]
+    return engine.mine(db, min_support, algorithm, counters=counters).patterns

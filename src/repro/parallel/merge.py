@@ -1,0 +1,202 @@
+"""The second pass of the partition scheme: union, verify, recount.
+
+After every shard reports its locally frequent patterns, the union of
+those sets is a superset of the globally frequent set (the scaling rule
+in :mod:`repro.parallel.sharding` guarantees no global pattern is missed)
+— but local supports are meaningless globally, so each surviving
+candidate needs one exact counting pass over the full database.
+
+That pass is organized level-wise and budgeted two ways:
+
+* **Apriori pruning** — the candidate union is downward closed (each
+  shard's local frequent set is, and a union of downward-closed families
+  is), so a size-``k`` candidate whose ``k-1``-subsets were not all
+  verified frequent can be skipped without counting.
+* **The tight candidate bound** (Geerts, Goethals & Van den Bussche) —
+  after verifying level ``k``, the Kruskal–Katona canonical decomposition
+  of ``|F_k|`` bounds how many ``k+1``-patterns can possibly be frequent;
+  when the bound hits zero every remaining (larger) candidate level is
+  dropped unverified.
+
+Counting itself reuses the group kernel's two styles: the vertical path
+intersects member-position bitmaps (``Group.item_bitmap`` makes
+pattern-head items free — the group-count saving survives the merge),
+and the horizontal fallback scans compacted tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Iterable
+
+from repro.core.groups import GroupedDatabase, to_grouped
+from repro.data.patterns import PatternSet
+from repro.metrics.counters import CostCounters
+
+
+def tight_candidate_bound(frequent_count: int, level: int) -> int:
+    """Largest possible ``|F_{level+1}|`` given ``|F_level|`` patterns.
+
+    The Kruskal–Katona-style bound of Geerts–Goethals–Van den Bussche:
+    write ``frequent_count`` canonically as
+    ``C(a_k, k) + C(a_{k-1}, k-1) + ... + C(a_j, j)`` with
+    ``a_k > a_{k-1} > ... > a_j >= j >= 1``; then at most
+    ``C(a_k, k+1) + C(a_{k-1}, k) + ... + C(a_j, j+1)`` patterns of size
+    ``level + 1`` can be frequent. Zero means level-wise search is over.
+    """
+    if level < 1 or frequent_count <= 0:
+        return 0
+    remaining = frequent_count
+    bound = 0
+    k = level
+    while remaining > 0 and k >= 1:
+        # Largest a with C(a, k) <= remaining; a >= k always works
+        # since C(k, k) = 1 <= remaining.
+        a = k
+        while comb(a + 1, k) <= remaining:
+            a += 1
+        remaining -= comb(a, k)
+        bound += comb(a, k + 1)
+        k -= 1
+    return bound
+
+
+def union_candidates(
+    shard_patterns: Iterable[PatternSet],
+) -> set[frozenset[int]]:
+    """The global candidate set: every pattern any shard found frequent.
+
+    Local supports are dropped here — only the exact recount can assign
+    a global support.
+    """
+    candidates: set[frozenset[int]] = set()
+    for patterns in shard_patterns:
+        candidates.update(patterns)
+    return candidates
+
+
+def count_pattern_support(
+    grouped: GroupedDatabase, pattern: frozenset[int]
+) -> int:
+    """Exact support of one pattern over a grouped database.
+
+    Vertical when the grouped view supports bitsets (one big-int ``&``
+    chain per group, pattern-head items costing nothing), horizontal tail
+    scan otherwise. Either way the group-count saving applies: members
+    whose tail projected away still assert their head pattern.
+    """
+    if not pattern:
+        return grouped.tuple_count()
+    enc = grouped.encoded()
+    if grouped.supports_bitset and enc is not None:
+        support = 0
+        for group in grouped.groups:
+            acc = group.mask
+            for item in pattern:
+                if not acc:
+                    break
+                acc &= group.item_bitmap(enc, item)
+            support += acc.bit_count()
+        return support
+    support = 0
+    for group in grouped.mining_groups():
+        needed = pattern - group.pattern_set
+        if not needed:
+            support += group.count
+            continue
+        # Compacted groups drop empty tails, but an empty tail cannot
+        # contain the non-empty `needed` set, so scanning only the
+        # non-empty ones is exact.
+        for tail in group.tails:
+            if needed.issubset(tail):
+                support += 1
+    return support
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """What the counting pass did and what it produced."""
+
+    patterns: PatternSet
+    candidate_count: int
+    counted: int
+    pruned_apriori: int
+    pruned_bound: int
+    levels_skipped: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "candidate_count": self.candidate_count,
+            "counted": self.counted,
+            "pruned_apriori": self.pruned_apriori,
+            "pruned_bound": self.pruned_bound,
+            "levels_skipped": self.levels_skipped,
+        }
+
+
+def merge_shard_patterns(
+    shard_patterns: Iterable[PatternSet],
+    source: GroupedDatabase,
+    min_support: int,
+    counters: CostCounters | None = None,
+) -> MergeResult:
+    """Union shard-local frequents and recount them exactly.
+
+    ``source`` is the *global* grouped database (counting it is counting
+    every shard at once — shards partition its tuples). The result is
+    set-identical, patterns and supports, to single-process mining at
+    ``min_support``.
+    """
+    grouped = to_grouped(source)
+    candidates = union_candidates(shard_patterns)
+    by_level: dict[int, list[frozenset[int]]] = {}
+    for candidate in candidates:
+        by_level.setdefault(len(candidate), []).append(candidate)
+
+    result = PatternSet()
+    frequent_by_level: dict[int, set[frozenset[int]]] = {}
+    counted = 0
+    pruned_apriori = 0
+    pruned_bound = 0
+    levels_skipped = 0
+    levels = sorted(by_level)
+    for position, level in enumerate(levels):
+        previous = frequent_by_level.get(level - 1)
+        level_frequent: set[frozenset[int]] = set()
+        for candidate in sorted(by_level[level], key=sorted):
+            if level > 1 and previous is not None:
+                # The candidate union is downward closed, so every
+                # (level-1)-subset was itself a candidate; one that
+                # failed verification sinks this candidate too.
+                if any(
+                    candidate - {item} not in previous for item in candidate
+                ):
+                    pruned_apriori += 1
+                    continue
+            support = count_pattern_support(grouped, candidate)
+            counted += 1
+            if support >= min_support:
+                result.add(candidate, support)
+                level_frequent.add(candidate)
+        frequent_by_level[level] = level_frequent
+        bound = tight_candidate_bound(len(level_frequent), level)
+        if bound == 0:
+            remaining = levels[position + 1:]
+            levels_skipped = len(remaining)
+            pruned_bound = sum(len(by_level[lv]) for lv in remaining)
+            break
+
+    if counters is not None:
+        counters.add("merge_candidates", len(candidates))
+        counters.add("merge_counted", counted)
+        counters.add("merge_pruned_apriori", pruned_apriori)
+        counters.add("merge_pruned_bound", pruned_bound)
+    return MergeResult(
+        patterns=result,
+        candidate_count=len(candidates),
+        counted=counted,
+        pruned_apriori=pruned_apriori,
+        pruned_bound=pruned_bound,
+        levels_skipped=levels_skipped,
+    )

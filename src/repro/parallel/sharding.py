@@ -1,0 +1,234 @@
+"""Group-aware sharding: splitting a :class:`GroupedDatabase` for workers.
+
+The paper's group representation makes shards cheap to ship: a shard is
+just a slice of the grouped database with its counts. The one rule the
+:class:`ShardPlanner` enforces is that a *pattern* group is atomic — all
+members of a group travel to the same shard, so the group-count savings,
+the member-position masks and the Lemma 3.1 single-group shortcut keep
+working inside every shard exactly as they do on the whole database. The
+residual group (pattern ``()``, the tuples no pattern claimed) carries no
+group structure to preserve, so its members are dealt out individually as
+ballast to balance shard sizes; in the degenerate scratch-mining case
+(one all-residual group) this is what makes sharding possible at all.
+
+Each shard rebuilds, lazily and deterministically, a self-contained
+mining world: a :class:`~repro.data.transactions.TransactionDatabase` of
+its member tuples (tid order preserved from the parent database, so the
+shard's :meth:`fingerprint` is stable across processes and runs) and a
+shard-local :class:`~repro.core.groups.GroupedDatabase` whose member
+masks are re-derived over shard positions — ``supports_bitset`` holds per
+shard, so the vertical kernel applies unchanged.
+
+Local support scaling follows the classic two-pass partition bound: a
+pattern with global absolute support ``S`` over ``n`` tuples must, by
+pigeonhole, reach count ``>= S * n_i / n`` in at least one shard of size
+``n_i``; since counts are integers, mining shard ``i`` at
+``max(1, ceil(S * n_i / n))`` makes the union of local frequent sets a
+superset of the global frequent set (:func:`scale_local_support`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.data.transactions import TransactionDatabase
+from repro.errors import MiningError
+
+
+def scale_local_support(
+    global_support: int, shard_tuples: int, total_tuples: int
+) -> int:
+    """The sound local threshold for one shard of the two-pass scheme.
+
+    ``max(1, ceil(global_support * shard_tuples / total_tuples))``: any
+    pattern globally frequent at ``global_support`` is locally frequent
+    at this threshold in at least one shard (pigeonhole over integer
+    counts), so no global pattern can be lost before the counting pass.
+    """
+    if global_support < 1:
+        raise MiningError(f"global support must be >= 1, got {global_support}")
+    if total_tuples <= 0 or shard_tuples <= 0:
+        return 1
+    return max(1, -(-global_support * shard_tuples // total_tuples))
+
+
+class Shard:
+    """One worker's slice of a grouped database.
+
+    Carries whole pattern groups plus its share of residual tuples, all
+    as plain tuples so the object pickles small; the derived database,
+    shard-local grouped view and fingerprint are rebuilt lazily on
+    whichever side of the process boundary first needs them (and are
+    deliberately dropped from the pickled state).
+    """
+
+    def __init__(self, index: int, groups: tuple[Group, ...]) -> None:
+        self.index = index
+        self.groups = tuple(groups)
+        self._database: TransactionDatabase | None = None
+        self._grouped: GroupedDatabase | None = None
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"index": self.index, "groups": self.groups}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.index = state["index"]  # type: ignore[assignment]
+        self.groups = state["groups"]  # type: ignore[assignment]
+        self._database = None
+        self._grouped = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard(index={self.index}, groups={len(self.groups)}, "
+            f"tuples={self.tuple_count})"
+        )
+
+    @property
+    def tuple_count(self) -> int:
+        """Member tuples in this shard (the ``n_i`` of the scaling rule)."""
+        return sum(group.count for group in self.groups)
+
+    def database(self) -> TransactionDatabase:
+        """This shard's member tuples as a database, in parent tid order.
+
+        Tids are inherited from the parent database, so the shard's
+        content fingerprint is stable across runs and processes — the
+        property the warehouse relies on to reuse per-shard feedstock.
+        """
+        if self._database is None:
+            rows: list[tuple[int, tuple[int, ...]]] = []
+            for group in self.groups:
+                if len(group.tids) != len(group.tails):
+                    raise MiningError(
+                        "shard groups must be root groups (tids parallel to tails)"
+                    )
+                for tid, tail in zip(group.tids, group.tails):
+                    rows.append((tid, tuple(sorted(group.pattern + tail))))
+            rows.sort()
+            self._database = TransactionDatabase(
+                [items for _tid, items in rows],
+                tids=[tid for tid, _items in rows],
+            )
+        return self._database
+
+    def grouped(self) -> GroupedDatabase:
+        """The shard-local grouped view Phase 2 mines.
+
+        Same groups, but member-position masks are re-derived over the
+        shard's own database, so ``supports_bitset`` (and therefore the
+        vertical kernel) holds inside the shard exactly as it does
+        globally.
+        """
+        if self._grouped is None:
+            db = self.database()
+            position_of = {tid: pos for pos, tid in enumerate(db.tids)}
+            rebuilt = []
+            for group in self.groups:
+                mask = 0
+                for tid in group.tids:
+                    mask |= 1 << position_of[tid]
+                rebuilt.append(
+                    Group(
+                        pattern=group.pattern,
+                        count=group.count,
+                        tails=group.tails,
+                        tids=group.tids,
+                        mask=mask,
+                    )
+                )
+            self._grouped = GroupedDatabase(rebuilt, original=db)
+        return self._grouped
+
+    def fingerprint(self) -> str:
+        """Content hash of the shard database (the warehouse key half)."""
+        return self.database().fingerprint()
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition one parallel run mines: shards plus global facts."""
+
+    shards: tuple[Shard, ...]
+    total_tuples: int
+    requested_jobs: int
+
+    @property
+    def effective_jobs(self) -> int:
+        return len(self.shards)
+
+    def local_support(self, shard: Shard, global_support: int) -> int:
+        """The scaled threshold ``shard`` is mined at."""
+        return scale_local_support(
+            global_support, shard.tuple_count, self.total_tuples
+        )
+
+
+class ShardPlanner:
+    """Splits a grouped database into at most ``jobs`` balanced shards.
+
+    Pattern groups are placed wholesale, largest first, into the
+    currently lightest shard (greedy LPT scheduling — deterministic, ties
+    broken by shard index). Residual tuples are then dealt out one at a
+    time to the lightest shard, balancing whatever imbalance the atomic
+    groups left. Shards that end up empty are dropped, so the effective
+    job count can be lower than requested on tiny or single-group inputs.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise MiningError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def plan(
+        self, source: GroupedDatabase | TransactionDatabase | list[Group]
+    ) -> ShardPlan:
+        grouped = to_grouped(source)
+        pattern_groups = [g for g in grouped.groups if g.pattern]
+        residual_groups = [g for g in grouped.groups if not g.pattern]
+
+        loads = [0] * self.jobs
+        assigned: list[list[Group]] = [[] for _ in range(self.jobs)]
+        for group in sorted(
+            pattern_groups, key=lambda g: (-g.count, g.pattern)
+        ):
+            lightest = min(range(self.jobs), key=lambda i: (loads[i], i))
+            assigned[lightest].append(group)
+            loads[lightest] += group.count
+
+        # Residual members balance the bins one tuple at a time.
+        residual_members: list[list[tuple[int, tuple[int, ...]]]] = [
+            [] for _ in range(self.jobs)
+        ]
+        for group in residual_groups:
+            if len(group.tids) != len(group.tails):
+                raise MiningError(
+                    "cannot shard a projected residual group (tids were dropped)"
+                )
+            for tid, tail in zip(group.tids, group.tails):
+                lightest = min(range(self.jobs), key=lambda i: (loads[i], i))
+                residual_members[lightest].append((tid, tail))
+                loads[lightest] += 1
+
+        shards = []
+        for index in range(self.jobs):
+            groups = list(assigned[index])
+            if residual_members[index]:
+                members = sorted(residual_members[index])
+                mask = 0  # shard-local masks are rebuilt by Shard.grouped()
+                groups.append(
+                    Group(
+                        pattern=(),
+                        count=len(members),
+                        tails=tuple(tail for _tid, tail in members),
+                        tids=tuple(tid for tid, _tail in members),
+                        mask=mask,
+                    )
+                )
+            if groups:
+                shards.append(Shard(len(shards), tuple(groups)))
+        return ShardPlan(
+            shards=tuple(shards),
+            total_tuples=grouped.tuple_count(),
+            requested_jobs=self.jobs,
+        )

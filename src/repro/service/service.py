@@ -55,6 +55,7 @@ class MineRequest:
     algorithm: str = "hmine"
     strategy: str = "mcp"
     backend: str = "bitset"
+    jobs: int = 1
 
     def absolute_support(self) -> int:
         """The absolute threshold this request resolves to."""
@@ -78,6 +79,8 @@ class MineResponse:
     coalesced: bool
     elapsed_seconds: float
     counters: CostCounters
+    jobs: int = 1
+    parallel_fallback: bool = False
 
     @property
     def pattern_count(self) -> int:
@@ -94,6 +97,8 @@ class _Computation:
     patterns: PatternSet
     counters: CostCounters
     elapsed_seconds: float
+    jobs: int = 1
+    parallel_fallback: bool = False
 
 
 class ServiceStats:
@@ -109,6 +114,8 @@ class ServiceStats:
         self.computations = 0
         self.mine_runs = 0
         self.recycle_runs = 0
+        self.parallel_runs = 0
+        self.parallel_fallbacks = 0
         self._latencies: list[float] = []
 
     def record(self, response: MineResponse) -> None:
@@ -128,6 +135,10 @@ class ServiceStats:
                     self.mine_runs += 1
                 elif response.path == "recycle":
                     self.recycle_runs += 1
+                if response.jobs > 1:
+                    self.parallel_runs += 1
+                if response.parallel_fallback:
+                    self.parallel_fallbacks += 1
             self._latencies.append(response.elapsed_seconds)
 
     def latency_quantile(self, q: float) -> float:
@@ -139,10 +150,27 @@ class ServiceStats:
             index = max(0, min(len(ordered) - 1, round(q * len(ordered)) - 1))
             return ordered[index]
 
+    def path_rates(self) -> dict[str, float]:
+        """Per-path request fractions, safe on an empty window.
+
+        A fresh service (or an all-coalesced window, where every request
+        rode a leader) must report rates without dividing by zero — each
+        rate is defined as 0.0 when no requests have been recorded.
+        """
+        with self._lock:
+            if self.requests == 0:
+                return {"filter": 0.0, "recycle": 0.0, "mine": 0.0}
+            return {
+                "filter": self.filter_hits / self.requests,
+                "recycle": self.recycles / self.requests,
+                "mine": self.misses / self.requests,
+            }
+
     def snapshot(self) -> dict[str, float]:
         """All aggregates as a plain dict (latencies as p50/p95)."""
         p50 = self.latency_quantile(0.50)
         p95 = self.latency_quantile(0.95)
+        rates = self.path_rates()
         with self._lock:
             return {
                 "requests": self.requests,
@@ -153,6 +181,11 @@ class ServiceStats:
                 "computations": self.computations,
                 "mine_runs": self.mine_runs,
                 "recycle_runs": self.recycle_runs,
+                "parallel_runs": self.parallel_runs,
+                "parallel_fallbacks": self.parallel_fallbacks,
+                "filter_rate": rates["filter"],
+                "recycle_rate": rates["recycle"],
+                "mine_rate": rates["mine"],
                 "latency_p50_s": p50,
                 "latency_p95_s": p95,
             }
@@ -169,21 +202,29 @@ class MiningService:
         baseline the benchmarks compare against).
     max_workers:
         Worker-pool width for concurrent requests.
+    parallel_engine_factory:
+        Optional hook building the sharded engine for ``jobs > 1``
+        requests, called as ``factory(jobs, shard_feedstock,
+        on_shard_result)``. Tests use it to inject failures or force the
+        inline executor; ``None`` builds a standard
+        :class:`~repro.parallel.ParallelEngine`.
     """
 
     def __init__(
         self,
         warehouse: PatternWarehouse | None = None,
         max_workers: int = 4,
+        parallel_engine_factory=None,
     ) -> None:
         if max_workers < 1:
             raise ReproError(f"max_workers must be >= 1, got {max_workers}")
         self.warehouse = warehouse
+        self._parallel_engine_factory = parallel_engine_factory
         self.stats = ServiceStats()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-mining"
         )
-        self._inflight: dict[tuple[str, int, str, str, str], Future] = {}
+        self._inflight: dict[tuple[str, int, str, str, str, int], Future] = {}
         self._inflight_lock = threading.Lock()
         self._closed = False
 
@@ -203,6 +244,8 @@ class MiningService:
             request.algorithm, kind="baseline"
         ):
             raise ReproError(f"unknown algorithm {request.algorithm!r}")
+        if request.jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {request.jobs}")
         absolute = request.absolute_support()
         key = (
             request.db.fingerprint(),
@@ -210,6 +253,7 @@ class MiningService:
             request.algorithm,
             request.strategy,
             request.backend,
+            request.jobs,
         )
         with self._inflight_lock:
             leader = self._inflight.get(key)
@@ -241,6 +285,8 @@ class MiningService:
                     else computation.elapsed_seconds
                 ),
                 counters=computation.counters,
+                jobs=computation.jobs,
+                parallel_fallback=computation.parallel_fallback,
             )
             self.stats.record(response)
             response_future.set_result(response)
@@ -276,7 +322,7 @@ class MiningService:
     # ------------------------------------------------------------------
     def _run_leader(
         self,
-        key: tuple[str, int, str, str, str],
+        key: tuple[str, int, str, str, str, int],
         request: MineRequest,
         absolute: int,
         leader: "Future[_Computation]",
@@ -310,15 +356,22 @@ class MiningService:
             hit.patterns if hit is not None else None,
             hit.absolute_support if hit is not None else None,
         )
-        patterns = execute_plan(
-            plan,
-            request.db,
-            absolute,
-            algorithm=request.algorithm,
-            strategy=request.strategy,
-            counters=counters,
-            backend=request.backend,
-        )
+        jobs = 1
+        parallel_fallback = False
+        if request.jobs > 1 and plan.path != PATH_FILTER:
+            jobs, parallel_fallback, patterns = self._compute_parallel(
+                request, absolute, plan, counters
+            )
+        else:
+            patterns = execute_plan(
+                plan,
+                request.db,
+                absolute,
+                algorithm=request.algorithm,
+                strategy=request.strategy,
+                counters=counters,
+                backend=request.backend,
+            )
         if self.warehouse is not None and plan.path != PATH_FILTER:
             # Filter results are cheap derivations of an existing entry;
             # storing them would only dilute the byte budget. Mined and
@@ -332,4 +385,66 @@ class MiningService:
             patterns=patterns,
             counters=counters,
             elapsed_seconds=elapsed,
+            jobs=jobs,
+            parallel_fallback=parallel_fallback,
         )
+
+    def _compute_parallel(
+        self, request: MineRequest, absolute: int, plan, counters: CostCounters
+    ) -> tuple[int, bool, PatternSet]:
+        """Fan a heavy request out through the sharded engine.
+
+        The warehouse rides along per shard: each worker's feedstock is
+        sliced by its shard fingerprint going out, and each fresh shard
+        result is banked coming back — one tenant's heavy request warms
+        the shards for everyone else's.
+        """
+        from repro.core.planner import PATH_RECYCLE
+        from repro.parallel import ParallelEngine
+
+        shard_feedstock = None
+        on_shard_result = None
+        if self.warehouse is not None:
+            warehouse = self.warehouse
+
+            def shard_feedstock(fingerprint: str, local_support: int):
+                hit = warehouse.best_feedstock(fingerprint, local_support)
+                if hit is None:
+                    return None
+                return hit.patterns, hit.absolute_support
+
+            def on_shard_result(
+                fingerprint: str, local_support: int, patterns: PatternSet
+            ) -> None:
+                warehouse.put(fingerprint, local_support, patterns)
+
+        if self._parallel_engine_factory is not None:
+            engine = self._parallel_engine_factory(
+                request.jobs, shard_feedstock, on_shard_result
+            )
+        else:
+            engine = ParallelEngine(
+                request.jobs,
+                shard_feedstock=shard_feedstock,
+                on_shard_result=on_shard_result,
+            )
+        if plan.path == PATH_RECYCLE:
+            outcome = engine.recycle_mine(
+                request.db,
+                plan.feedstock,
+                absolute,
+                algorithm=request.algorithm,
+                strategy=request.strategy,
+                counters=counters,
+                backend=request.backend,
+            )
+        else:
+            outcome = engine.mine(
+                request.db,
+                absolute,
+                algorithm=request.algorithm,
+                strategy=request.strategy,
+                counters=counters,
+                backend=request.backend,
+            )
+        return outcome.jobs, outcome.fallback, outcome.patterns

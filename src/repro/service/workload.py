@@ -18,7 +18,8 @@ reproduced from a plain text artifact::
     }
 
 Top-level keys are defaults; each request may override ``dataset``,
-``seed``, ``algorithm`` and ``strategy``. Databases are resolved through
+``seed``, ``algorithm``, ``strategy`` and ``jobs`` (worker processes for
+the sharded engine). Databases are resolved through
 the built-in dataset catalog and materialized once per (dataset, seed),
 so every request for the same dataset shares one
 :class:`TransactionDatabase` object (and therefore one fingerprint and
@@ -66,13 +67,19 @@ def parse_workload(spec: dict) -> list[MineRequest]:
         support = entry.get("support")
         if support is None:
             raise DataError(f"request #{index} has no support")
+        if isinstance(support, bool) or not isinstance(support, (int, float)):
+            raise DataError(f"request #{index}: support must be a number")
         requests.append(
             MineRequest(
                 db=resolve_db(str(dataset), seed),
-                support=float(support),
+                # Passed through as-is: a JSON int stays an absolute
+                # count, a JSON float stays a relative fraction (the
+                # library-wide support convention).
+                support=support,
                 tenant=str(entry.get("tenant", f"user-{index}")),
                 algorithm=str(entry.get("algorithm", spec.get("algorithm", "hmine"))),
                 strategy=str(entry.get("strategy", spec.get("strategy", "mcp"))),
+                jobs=int(entry.get("jobs", spec.get("jobs", 1))),
             )
         )
     return requests

@@ -44,6 +44,19 @@ class TestPlanning:
     def test_empty_feedstock_mines(self):
         assert plan_support_path(5, PatternSet(), 200).path == PATH_MINE
 
+    def test_empty_feedstock_at_exact_support_filters_to_empty(self, db):
+        """Feedstock mined at exactly the requested support, but empty:
+        the equal-support rule wins, the plan filters, and the (correct)
+        answer is the empty set — no remining."""
+        barren_support = len(db) + 1
+        feedstock = mine_hmine(db, barren_support)
+        assert len(feedstock) == 0
+        plan = plan_support_path(barren_support, feedstock, barren_support)
+        assert plan.path == PATH_FILTER
+        result = execute_plan(plan, db, barren_support)
+        assert len(result) == 0
+        assert result == mine_hmine(db, barren_support)
+
 
 class TestExecution:
     @pytest.mark.parametrize("new_support", [4, 8, 15])

@@ -7,12 +7,15 @@ import io
 import pytest
 
 from repro.data.io import (
+    canonical_pattern_rows,
     parse_patterns,
     parse_transactions,
     read_patterns,
+    read_patterns_with_support,
     read_transactions,
     transactions_to_string,
     write_patterns,
+    write_patterns_with_support,
     write_transactions,
 )
 from repro.data.transactions import TransactionDatabase
@@ -73,6 +76,40 @@ class TestPatternIO:
     def test_parse_skips_comments(self):
         patterns = parse_patterns(io.StringIO("# header\n1 2 : 3\n"))
         assert patterns.support({1, 2}) == 3
+
+    def test_canonical_rows_sort_items_then_support(self):
+        patterns = PatternSet(
+            {
+                frozenset({2, 1}): 7,
+                frozenset({1}): 9,
+                frozenset({3}): 2,
+                frozenset({1, 2, 3}): 1,
+            }
+        )
+        assert canonical_pattern_rows(patterns) == [
+            ((1,), 9),
+            ((1, 2), 7),
+            ((1, 2, 3), 1),
+            ((3,), 2),
+        ]
+
+    def test_support_header_output_is_order_independent(self, tmp_path):
+        """Two insertion orders, one canonical file: byte-identical output."""
+        forward = PatternSet()
+        backward = PatternSet()
+        rows = [({1}, 5), ({2}, 4), ({1, 2}, 3), ({1, 3}, 3)]
+        for items, support in rows:
+            forward.add(frozenset(items), support)
+        for items, support in reversed(rows):
+            backward.add(frozenset(items), support)
+        path_a = tmp_path / "a.txt"
+        path_b = tmp_path / "b.txt"
+        write_patterns_with_support(forward, path_a, 3)
+        write_patterns_with_support(backward, path_b, 3)
+        assert path_a.read_bytes() == path_b.read_bytes()
+        loaded, support = read_patterns_with_support(path_a)
+        assert support == 3
+        assert loaded == forward
 
     def test_recycling_across_sessions_via_files(self, tmp_path, paper_db):
         """One user's saved output is another's recycling input."""

@@ -121,6 +121,15 @@ class TestRelativeSupport:
         db = TransactionDatabase([[1]])
         assert db.relative_to_absolute(0.0001) == 1
 
+    def test_float_one_means_every_transaction(self):
+        # 1.0 is the 100% relative threshold, not an absolute count of 1.
+        db = TransactionDatabase([[1]] * 10)
+        assert db.relative_to_absolute(1.0) == 10
+
+    def test_int_one_means_absolute_count_one(self):
+        db = TransactionDatabase([[1]] * 10)
+        assert db.relative_to_absolute(1) == 1
+
 
 class TestEquality:
     def test_equal_databases(self):

@@ -1,0 +1,140 @@
+"""Merge-pass unit tests: the tight bound, exact recount, pruning."""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.core.compression import compress
+from repro.core.groups import Group, GroupedDatabase
+from repro.data.patterns import PatternSet
+from repro.data.transactions import TransactionDatabase
+from repro.metrics.counters import CostCounters
+from repro.mining.bruteforce import mine_bruteforce
+from repro.parallel import (
+    count_pattern_support,
+    merge_shard_patterns,
+    tight_candidate_bound,
+    union_candidates,
+)
+
+
+def db() -> TransactionDatabase:
+    return TransactionDatabase(
+        [[1, 2, 3], [1, 2, 3], [1, 2], [2, 3], [1, 3], [4, 5], [4, 5, 1]]
+    )
+
+
+class TestTightCandidateBound:
+    def test_single_frequent_pattern_closes_the_level(self):
+        # |F_k| = 1 = C(k, k) -> bound C(k, k+1) = 0 for every k.
+        for level in range(1, 6):
+            assert tight_candidate_bound(1, level) == 0
+
+    def test_complete_level_gives_binomial(self):
+        # |F_2| = C(5, 2) = 10 -> at most C(5, 3) = 10 triples.
+        assert tight_candidate_bound(comb(5, 2), 2) == comb(5, 3)
+
+    def test_canonical_decomposition_sums(self):
+        # 11 = C(5,2) + C(1,1) -> C(5,3) + C(1,2) = 10 + 0 = 10.
+        assert tight_candidate_bound(11, 2) == 10
+
+    def test_two_singletons_allow_one_pair(self):
+        assert tight_candidate_bound(2, 1) == 1
+
+    def test_empty_or_invalid_is_zero(self):
+        assert tight_candidate_bound(0, 2) == 0
+        assert tight_candidate_bound(5, 0) == 0
+
+    def test_monotone_in_frequent_count(self):
+        for level in (1, 2, 3):
+            bounds = [tight_candidate_bound(m, level) for m in range(0, 40)]
+            assert bounds == sorted(bounds)
+
+
+class TestCountPatternSupport:
+    def test_matches_bruteforce_on_bitset_groups(self):
+        database = db()
+        patterns = mine_bruteforce(database, 3)
+        grouped = compress(database, patterns, "mcp").compressed
+        assert grouped.supports_bitset
+        reference = mine_bruteforce(database, 1)
+        for pattern, support in reference.items():
+            assert count_pattern_support(grouped, pattern) == support
+
+    def test_matches_bruteforce_on_bare_groups(self):
+        database = db()
+        patterns = mine_bruteforce(database, 3)
+        with_masks = compress(database, patterns, "mcp").compressed
+        bare = GroupedDatabase.from_groups(
+            Group(g.pattern, g.count, g.tails) for g in with_masks.groups
+        )
+        assert not bare.supports_bitset
+        reference = mine_bruteforce(database, 1)
+        for pattern, support in reference.items():
+            assert count_pattern_support(bare, pattern) == support
+
+    def test_empty_pattern_counts_everything(self):
+        database = db()
+        grouped = GroupedDatabase.from_database(database)
+        assert count_pattern_support(grouped, frozenset()) == len(database)
+
+    def test_absent_item_is_zero(self):
+        grouped = GroupedDatabase.from_database(db())
+        assert count_pattern_support(grouped, frozenset({99})) == 0
+
+
+class TestMergeShardPatterns:
+    def test_recount_is_exact(self):
+        database = db()
+        grouped = GroupedDatabase.from_database(database)
+        reference = mine_bruteforce(database, 2)
+        # Fake two shards: overlapping, locally-renumbered supports.
+        left = mine_bruteforce(TransactionDatabase(list(database)[:4]), 1)
+        right = mine_bruteforce(TransactionDatabase(list(database)[4:]), 1)
+        result = merge_shard_patterns([left, right], grouped, 2)
+        assert result.patterns == reference
+
+    def test_union_is_deduplicated(self):
+        a = PatternSet({frozenset({1}): 3, frozenset({2}): 2})
+        b = PatternSet({frozenset({1}): 5})
+        assert union_candidates([a, b]) == {frozenset({1}), frozenset({2})}
+
+    def test_apriori_prunes_unsupported_supersets(self):
+        database = db()
+        grouped = GroupedDatabase.from_database(database)
+        # At support 3 items 1, 2, 3 stay frequent (bound stays positive)
+        # while {4} and {5} fail level 1 -- so the candidate {4,5} must
+        # be Apriori-pruned without ever being counted.
+        candidates = mine_bruteforce(database, 1)
+        assert frozenset({4, 5}) in candidates
+        result = merge_shard_patterns([candidates], grouped, 3)
+        assert result.patterns == mine_bruteforce(database, 3)
+        assert result.pruned_apriori >= 1
+        assert frozenset({4, 5}) not in result.patterns
+
+    def test_bound_stops_level_wise_search(self):
+        database = db()
+        grouped = GroupedDatabase.from_database(database)
+        # At support 5 only {1} survives level 1 -> the bound on pairs is
+        # C(1,2)=0, so every higher candidate level is skipped unverified.
+        candidates = mine_bruteforce(database, 1)
+        result = merge_shard_patterns([candidates], grouped, 5)
+        assert result.patterns == mine_bruteforce(database, 5)
+        assert result.levels_skipped >= 1
+        assert result.pruned_bound >= 1
+
+    def test_counters_record_the_budget(self):
+        database = db()
+        grouped = GroupedDatabase.from_database(database)
+        counters = CostCounters()
+        candidates = mine_bruteforce(database, 2)
+        merge_shard_patterns([candidates], grouped, 2, counters)
+        recorded = counters.as_dict()
+        assert recorded["merge_candidates"] == len(candidates)
+        assert recorded["merge_counted"] > 0
+
+    def test_empty_shards_produce_empty_result(self):
+        grouped = GroupedDatabase.from_database(db())
+        result = merge_shard_patterns([PatternSet()], grouped, 2)
+        assert len(result.patterns) == 0
+        assert result.candidate_count == 0

@@ -68,6 +68,80 @@ class TestSingleRequests:
             assert relaxed.patterns == mine_hmine(db, 5)
 
 
+class TestParallelRequests:
+    @staticmethod
+    def _inline_factory(**extra):
+        """Engine factory running the real worker code path in-process."""
+        from repro.parallel import ParallelEngine
+
+        def factory(jobs, shard_feedstock, on_shard_result):
+            return ParallelEngine(
+                jobs,
+                executor="inline",
+                shard_feedstock=shard_feedstock,
+                on_shard_result=on_shard_result,
+                **extra,
+            )
+
+        return factory
+
+    def test_parallel_mine_matches_serial(self, db):
+        with MiningService(
+            warehouse=PatternWarehouse(),
+            parallel_engine_factory=self._inline_factory(),
+        ) as service:
+            response = service.execute(MineRequest(db=db, support=10, jobs=2))
+            assert response.jobs == 2 and not response.parallel_fallback
+            assert response.patterns == mine_hmine(db, 10)
+            snapshot = service.stats.snapshot()
+            assert snapshot["parallel_runs"] == 1
+            assert snapshot["parallel_fallbacks"] == 0
+
+    def test_parallel_recycle_reuses_warehouse_feedstock(self, db):
+        with MiningService(
+            warehouse=PatternWarehouse(),
+            parallel_engine_factory=self._inline_factory(),
+        ) as service:
+            service.execute(MineRequest(db=db, support=12))
+            relaxed = service.execute(MineRequest(db=db, support=6, jobs=2))
+            assert relaxed.path == "recycle" and relaxed.jobs == 2
+            assert relaxed.patterns == mine_hmine(db, 6)
+
+    def test_worker_crash_degrades_to_serial_and_is_surfaced(self, db):
+        """Acceptance: a shard raising mid-mine falls back to the
+        in-process path with exact results, visible in the response and
+        in the service stats."""
+        with MiningService(
+            warehouse=PatternWarehouse(),
+            parallel_engine_factory=self._inline_factory(failure_injection=(0,)),
+        ) as service:
+            response = service.execute(MineRequest(db=db, support=10, jobs=2))
+            assert response.parallel_fallback
+            assert response.jobs == 1  # the run that produced the answer
+            assert response.patterns == mine_hmine(db, 10)
+            snapshot = service.stats.snapshot()
+            assert snapshot["parallel_fallbacks"] == 1
+
+    def test_nonpositive_jobs_rejected_at_submit(self, db):
+        with MiningService() as service:
+            with pytest.raises(ReproError, match="jobs"):
+                service.submit(MineRequest(db=db, support=12, jobs=0))
+
+
+class TestStatsZeroGuards:
+    def test_fresh_stats_report_without_requests(self):
+        from repro.service.service import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.latency_quantile(0.5) == 0.0
+        assert stats.latency_quantile(0.95) == 0.0
+        assert stats.path_rates() == {"filter": 0.0, "recycle": 0.0, "mine": 0.0}
+        snapshot = stats.snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["latency_p50_s"] == 0.0
+        assert snapshot["filter_rate"] == 0.0
+
+
 class TestSingleFlight:
     def test_identical_inflight_requests_share_one_run(self, db, monkeypatch):
         """Six identical requests submitted while the leader is gated must

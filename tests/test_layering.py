@@ -21,11 +21,25 @@ import pytest
 SRC = Path(__file__).resolve().parents[1] / "src"
 
 #: importing package prefix -> package prefixes it must not import.
+#:
+#: ``repro.parallel`` sits beside ``repro.service`` above the algorithm
+#: layers: it may use data/core/mining/storage but never the service,
+#: which orchestrates it.  The reverse edge — ``repro.core`` reaching
+#: ``repro.parallel`` from ``recycle_mine(jobs=...)`` — is a deliberate,
+#: function-local lazy import and therefore intentionally absent from
+#: core's forbidden list.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "repro.data": ("repro.core", "repro.mining", "repro.service", "repro.storage"),
+    "repro.data": (
+        "repro.core",
+        "repro.mining",
+        "repro.parallel",
+        "repro.service",
+        "repro.storage",
+    ),
     "repro.core": ("repro.service",),
-    "repro.mining": ("repro.service",),
-    "repro.storage": ("repro.service",),
+    "repro.mining": ("repro.parallel", "repro.service"),
+    "repro.storage": ("repro.parallel", "repro.service"),
+    "repro.parallel": ("repro.service",),
 }
 
 
