@@ -69,19 +69,24 @@ def _command_mine(args: argparse.Namespace) -> int:
     counters = CostCounters()
     started = time.perf_counter()
     if args.jobs > 1:
-        from repro.parallel import parallel_mine
+        from repro.parallel import ParallelEngine
 
-        patterns = parallel_mine(
-            db, support, args.jobs, algorithm=args.algorithm, counters=counters
+        outcome = ParallelEngine(args.jobs).mine(
+            db, support, algorithm=args.algorithm, counters=counters
         )
+        patterns = outcome.patterns
+        degradation = outcome.degradation
     else:
         miner = get_miner(args.algorithm, kind="baseline").fn
         patterns = miner(db, support, counters)
+        degradation = None
     elapsed = time.perf_counter() - started
     print(
         f"{args.algorithm}: {len(patterns)} patterns (max length "
         f"{patterns.max_length()}) at support {support} in {elapsed:.2f}s"
     )
+    if degradation is not None and degradation.degraded:
+        print(f"degraded: {degradation.describe()}")
     if args.output:
         write_patterns(patterns, args.output)
         print(f"wrote {args.output}")
@@ -130,6 +135,8 @@ def _command_recycle(args: argparse.Namespace) -> int:
         f"(compression ratio {outcome.compression.ratio:.3f}, "
         f"group-count shortcuts {counters.group_counts})"
     )
+    if outcome.degradation.degraded:
+        print(f"degraded: {outcome.degradation.describe()}")
     if args.output:
         write_patterns(outcome.patterns, args.output)
         print(f"wrote {args.output}")
@@ -211,6 +218,17 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             f"parallel: {stats['parallel_runs']:.0f} sharded runs, "
             f"{stats['parallel_fallbacks']:.0f} fallbacks to in-process"
         )
+    if stats["degraded"]:
+        degradations = service.stats.degradation_summary()
+        details = ", ".join(
+            f"{label} ×{count}" for label, count in degradations.items()
+        )
+        print(f"degraded: {stats['degraded']:.0f} responses ({details})")
+    if stats["breaker_open"]:
+        print(
+            f"circuit breaker: open ({stats['breaker_trips']:.0f} trips) — "
+            "parallel requests are being served serially"
+        )
     if warehouse is not None:
         wh = warehouse.stats()
         print(
@@ -218,6 +236,16 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             f"(budget {wh['byte_budget'] or 'unbounded'}), "
             f"{wh['evictions']} evictions, {wh['rejections']} rejections"
         )
+        if wh["quarantined"]:
+            print(
+                f"warehouse: {wh['quarantined']} corrupt pattern file(s) "
+                "quarantined at load"
+            )
+        if wh["memory_only"]:
+            print(
+                "warehouse: degraded to memory-only "
+                f"({warehouse.memory_only_reason})"
+            )
     return 0
 
 

@@ -28,6 +28,11 @@ from repro.data.transactions import TransactionDatabase
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import get_miner, has_miner
+from repro.resilience import (
+    REASON_CIRCUIT_OPEN,
+    DegradationReport,
+    ResilienceConfig,
+)
 
 #: The three sound paths to a support-level pattern set.
 PATH_FILTER = "filter"
@@ -76,6 +81,8 @@ def execute_plan(
     counters: CostCounters | None = None,
     backend: str = "bitset",
     jobs: int = 1,
+    resilience: ResilienceConfig | None = None,
+    degradation: DegradationReport | None = None,
 ) -> PatternSet:
     """Carry out ``plan``, returning the full pattern set at ``new_support``.
 
@@ -85,7 +92,10 @@ def execute_plan(
     selects the compression claiming implementation on that path.
     ``jobs > 1`` fans the recycle and mine paths out through the sharded
     engine (:mod:`repro.parallel`); the filter path never mines, so it
-    never shards.
+    never shards. ``resilience`` threads a retry budget and fault
+    injector into that engine and, when it carries a circuit breaker,
+    skips straight to serial while the breaker is open; every rung
+    descended is recorded on ``degradation`` (when given).
     """
     if plan.path == PATH_FILTER:
         assert plan.feedstock is not None
@@ -103,15 +113,36 @@ def execute_plan(
             counters=counters,
             backend=backend,
             jobs=jobs,
+            resilience=resilience,
         )
+        if degradation is not None:
+            degradation.extend(outcome.degradation)
         return outcome.patterns
     name = resolve_baseline_algorithm(algorithm)
     if jobs > 1:
-        from repro.parallel import ParallelEngine
+        resilience = resilience or ResilienceConfig()
+        breaker = resilience.breaker
+        if breaker is not None and not breaker.allow():
+            if degradation is not None:
+                degradation.record("parallel", "serial", REASON_CIRCUIT_OPEN)
+            if counters is not None:
+                counters.add("parallel_circuit_skips")
+        else:
+            from repro.parallel import ParallelEngine
 
-        return ParallelEngine(jobs).mine(
-            db, new_support, algorithm=name, counters=counters, backend=backend
-        ).patterns
+            outcome = ParallelEngine(
+                jobs,
+                retry_policy=resilience.retry,
+                fault_injector=resilience.faults,
+            ).mine(db, new_support, algorithm=name, counters=counters, backend=backend)
+            if breaker is not None:
+                if outcome.fallback:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            if degradation is not None:
+                degradation.extend(outcome.degradation)
+            return outcome.patterns
     return get_miner(name, kind="baseline").mine(db, new_support, counters)
 
 

@@ -12,7 +12,7 @@ naive RP-Mine and Recycle-Eclat) resolve through the single
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.compression import CompressionResult, compress
@@ -23,6 +23,11 @@ from repro.errors import MiningError, RecycleError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import MinerView, get_miner
+from repro.resilience import (
+    REASON_CIRCUIT_OPEN,
+    DegradationReport,
+    ResilienceConfig,
+)
 
 #: A recycling miner maps (grouped db, min support, counters) -> patterns.
 RecyclingMiner = Callable[[GroupedDatabase, int, CostCounters | None], PatternSet]
@@ -47,10 +52,16 @@ def get_miner_spec(algorithm: str):
 
 @dataclass(frozen=True)
 class RecycleOutcome:
-    """Everything a recycling run produced, for reporting."""
+    """Everything a recycling run produced, for reporting.
+
+    ``degradation`` is empty unless the run descended the resilience
+    ladder (e.g. a sharded Phase 2 fell back to serial, or an open
+    circuit breaker skipped the parallel path entirely).
+    """
 
     patterns: PatternSet
     compression: CompressionResult
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
 
 def recycle_mine(
@@ -62,6 +73,7 @@ def recycle_mine(
     counters: CostCounters | None = None,
     backend: str = "bitset",
     jobs: int = 1,
+    resilience: ResilienceConfig | None = None,
 ) -> PatternSet:
     """Phase 1 + Phase 2: compress ``db`` with ``old_patterns``, then mine.
 
@@ -72,10 +84,19 @@ def recycle_mine(
     groups; the grouped output always carries the encoded view the
     bitset mining kernel needs). ``jobs > 1`` runs Phase 2 through the
     sharded engine of :mod:`repro.parallel` — same answer, two-pass
-    partition scheme across worker processes.
+    partition scheme across worker processes — honoring the retry
+    budget, fault injector and circuit breaker in ``resilience``.
     """
     return recycle_mine_detailed(
-        db, old_patterns, min_support, algorithm, strategy, counters, backend, jobs
+        db,
+        old_patterns,
+        min_support,
+        algorithm,
+        strategy,
+        counters,
+        backend,
+        jobs,
+        resilience=resilience,
     ).patterns
 
 
@@ -88,6 +109,7 @@ def recycle_mine_detailed(
     counters: CostCounters | None = None,
     backend: str = "bitset",
     jobs: int = 1,
+    resilience: ResilienceConfig | None = None,
 ) -> RecycleOutcome:
     """Like :func:`recycle_mine` but also returns compression statistics."""
     spec = get_miner_spec(algorithm)
@@ -95,6 +117,16 @@ def recycle_mine_detailed(
         raise RecycleError(
             "no patterns to recycle — mine with a baseline algorithm instead"
         )
+    resilience = resilience or ResilienceConfig()
+    degradation = DegradationReport()
+    breaker = resilience.breaker
+    if jobs > 1 and breaker is not None and not breaker.allow():
+        # An open breaker demotes the whole request to the serial path
+        # below, without spinning up (and re-crashing) worker processes.
+        degradation.record("parallel", "serial", REASON_CIRCUIT_OPEN)
+        if counters is not None:
+            counters.add("parallel_circuit_skips")
+        jobs = 1
     if jobs > 1:
         # The deliberate upward edge: core reaches into repro.parallel
         # only here, lazily, mirroring how the sharded engine reaches
@@ -102,7 +134,11 @@ def recycle_mine_detailed(
         from repro.parallel import ParallelEngine
 
         strategy_name = strategy if isinstance(strategy, str) else strategy.name
-        outcome = ParallelEngine(jobs).recycle_mine(
+        outcome = ParallelEngine(
+            jobs,
+            retry_policy=resilience.retry,
+            fault_injector=resilience.faults,
+        ).recycle_mine(
             db,
             old_patterns,
             min_support,
@@ -111,10 +147,20 @@ def recycle_mine_detailed(
             counters=counters,
             backend=backend,
         )
+        if breaker is not None:
+            if outcome.fallback:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        degradation.extend(outcome.degradation)
         assert outcome.compression is not None
         return RecycleOutcome(
-            patterns=outcome.patterns, compression=outcome.compression
+            patterns=outcome.patterns,
+            compression=outcome.compression,
+            degradation=degradation,
         )
     compression = compress(db, old_patterns, strategy, counters, backend=backend)
     patterns = spec.mine(compression.compressed, min_support, counters)
-    return RecycleOutcome(patterns=patterns, compression=compression)
+    return RecycleOutcome(
+        patterns=patterns, compression=compression, degradation=degradation
+    )

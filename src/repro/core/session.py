@@ -23,7 +23,7 @@ multi-user platform (Section 2).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.constraints.base import ChangeKind, ConstraintContext
 from repro.constraints.engine import ConstraintSet
@@ -39,11 +39,16 @@ from repro.errors import DataError, RecycleError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import has_miner, miner_names
+from repro.resilience import DegradationReport, ResilienceConfig
 
 
 @dataclass(frozen=True)
 class IterationReport:
-    """What one :meth:`MiningSession.mine` call did and what it cost."""
+    """What one :meth:`MiningSession.mine` call did and what it cost.
+
+    ``degradation`` names any resilience-ladder rungs the iteration
+    descended (empty for a clean run).
+    """
 
     index: int
     path: str  # "initial" | "filter" | "recycle"
@@ -52,6 +57,7 @@ class IterationReport:
     pattern_count: int
     elapsed_seconds: float
     counters: CostCounters
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
 
 class MiningSession:
@@ -80,6 +86,10 @@ class MiningSession:
         Worker processes for the mining paths (``1`` = in-process; more
         fans out through the sharded engine of :mod:`repro.parallel`,
         same results either way).
+    resilience:
+        Retry budget, fault injector and circuit breaker threaded into
+        the sharded engine when ``jobs > 1``; any degradation is
+        recorded on each :class:`IterationReport`.
     """
 
     def __init__(
@@ -90,6 +100,7 @@ class MiningSession:
         item_table: ItemTable | None = None,
         backend: str = "bitset",
         jobs: int = 1,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if algorithm != "naive" and not has_miner(algorithm, kind="baseline"):
             known = ", ".join(miner_names("baseline"))
@@ -101,6 +112,7 @@ class MiningSession:
         self.strategy = strategy
         self.backend = backend
         self.jobs = jobs
+        self.resilience = resilience or ResilienceConfig()
         self.context = ConstraintContext(
             db_size=len(db), item_table=item_table or ItemTable()
         )
@@ -136,6 +148,7 @@ class MiningSession:
                 new_support, self._support_patterns, self._absolute_support
             )
         path = "initial" if plan.path == PATH_MINE else plan.path
+        degradation = DegradationReport()
         support_patterns = execute_plan(
             plan,
             self.db,
@@ -145,6 +158,8 @@ class MiningSession:
             counters=counters,
             backend=self.backend,
             jobs=self.jobs,
+            resilience=self.resilience,
+            degradation=degradation,
         )
 
         result = constraints.filter_patterns(support_patterns, self.context)
@@ -162,6 +177,7 @@ class MiningSession:
                 pattern_count=len(result),
                 elapsed_seconds=elapsed,
                 counters=counters,
+                degradation=degradation,
             )
         )
         return result

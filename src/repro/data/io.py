@@ -14,6 +14,7 @@ Two on-disk formats are supported:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import os
 import tempfile
@@ -126,6 +127,25 @@ def write_patterns(patterns: PatternSet, path: str | Path) -> None:
 #: Header line prefix recording the threshold a pattern file was mined at.
 SUPPORT_HEADER_PREFIX = "# absolute_support="
 
+#: Header line prefix recording the SHA-256 of the pattern body. Written
+#: after the support header; files predating the checksum (or written by
+#: other tools) simply omit it and are read without verification.
+CHECKSUM_HEADER_PREFIX = "# sha256="
+
+
+def _pattern_body(patterns: PatternSet) -> str:
+    """The canonical pattern lines as one string — what gets checksummed."""
+    buffer = io.StringIO()
+    for items, support in canonical_pattern_rows(patterns):
+        buffer.write(" ".join(str(i) for i in items))
+        buffer.write(f" : {support}\n")
+    return buffer.getvalue()
+
+
+def pattern_body_checksum(body: str) -> str:
+    """SHA-256 hex digest of a pattern-file body (the non-header lines)."""
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
 
 def write_patterns_with_support(
     patterns: PatternSet, path: str | Path, absolute_support: int
@@ -133,18 +153,20 @@ def write_patterns_with_support(
     """Atomically persist a pattern set with its mining threshold.
 
     The plain pattern format prefixed with a ``# absolute_support=N``
-    header, written once into a sibling temp file and moved into place
-    with :func:`os.replace` — a concurrent reader (or a crash mid-write)
-    never observes a partial or header-less file.
+    header and a ``# sha256=<hex>`` body checksum, written once into a
+    sibling temp file and moved into place with :func:`os.replace` — a
+    concurrent reader (or a crash mid-write) never observes a partial or
+    header-less file, and bit rot or truncation that slips past the
+    atomic rename is caught by the checksum on read.
     """
     path = Path(path)
+    body = _pattern_body(patterns)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(f"{SUPPORT_HEADER_PREFIX}{absolute_support}\n")
-            for items, support in canonical_pattern_rows(patterns):
-                handle.write(" ".join(str(i) for i in items))
-                handle.write(f" : {support}\n")
+            handle.write(f"{CHECKSUM_HEADER_PREFIX}{pattern_body_checksum(body)}\n")
+            handle.write(body)
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -157,23 +179,35 @@ def write_patterns_with_support(
 def read_patterns_with_support(path: str | Path) -> tuple[PatternSet, int]:
     """Load a pattern set written by :func:`write_patterns_with_support`.
 
-    Only the first line is read to recover the threshold; the body is
-    then parsed by the ordinary pattern reader (which skips the header
-    comment).
+    The support header is required; the checksum header is verified when
+    present and skipped when absent, so pre-checksum files stay
+    readable. A checksum mismatch (bit rot, truncation, tampering)
+    raises :class:`~repro.errors.DataError` — the warehouse turns that
+    into quarantine instead of serving corrupt feedstock.
     """
     path = Path(path)
     try:
-        with path.open("r", encoding="utf-8") as handle:
-            first_line = handle.readline()
+        text = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise DataError(f"cannot read pattern file {path}: {exc}") from exc
-    if not first_line.startswith(SUPPORT_HEADER_PREFIX):
+    lines = text.splitlines(keepends=True)
+    if not lines or not lines[0].startswith(SUPPORT_HEADER_PREFIX):
         raise DataError(
             f"{path} has no absolute_support header — was it written by "
             "write_patterns_with_support()?"
         )
     try:
-        absolute_support = int(first_line[len(SUPPORT_HEADER_PREFIX):])
+        absolute_support = int(lines[0][len(SUPPORT_HEADER_PREFIX):])
     except ValueError as exc:
         raise DataError(f"{path}: malformed absolute_support header") from exc
-    return read_patterns(path), absolute_support
+    body_start = 1
+    if len(lines) > 1 and lines[1].startswith(CHECKSUM_HEADER_PREFIX):
+        body_start = 2
+        expected = lines[1][len(CHECKSUM_HEADER_PREFIX):].strip()
+        actual = pattern_body_checksum("".join(lines[2:]))
+        if actual != expected:
+            raise DataError(
+                f"{path}: body checksum mismatch (expected {expected}, got "
+                f"{actual}) — the file is corrupt or truncated"
+            )
+    return parse_patterns(io.StringIO("".join(lines[body_start:]))), absolute_support

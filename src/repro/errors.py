@@ -43,3 +43,17 @@ class BenchmarkError(ReproError):
 
 class ParallelError(ReproError):
     """Raised by the sharded engine for worker crashes and deadline misses."""
+
+
+class ResilienceError(ReproError):
+    """Raised for ill-formed resilience configuration (retry, breaker, faults)."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by a firing :class:`repro.resilience.FaultInjector` fault point.
+
+    Deliberately a :class:`ReproError` subclass: injected chaos must flow
+    through exactly the ``except`` clauses real failures would, so the
+    fault-injection tests exercise the production error-handling paths
+    rather than parallel test-only ones.
+    """

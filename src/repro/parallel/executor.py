@@ -22,20 +22,31 @@ of the grouped database directly with the chosen recycling miner (the
 groups were compressed once, globally) or a baseline miner when there was
 nothing to recycle.
 
-Failure is not an error: a worker crash, a raised exception or a missed
-deadline makes the engine fall back to the equivalent in-process path,
-recording ``parallel_fallbacks`` in the counters and the reason on the
-outcome, so a parallel call can never produce worse results than a
-serial one — only, at worst, the same results later.
+Failure is not an error, and it is handled *per shard* before it is
+handled per run: a crashed or timed-out shard is retried individually
+with capped exponential backoff and deterministic jitter
+(:class:`~repro.resilience.RetryPolicy`), budgeted by attempts and by
+the engine's wall-clock deadline. Only when a shard exhausts that budget
+(or the whole pass misses its deadline) does the engine fall back to the
+equivalent in-process path — salvaging the counters of every shard that
+*did* finish (recorded under ``parallel_wasted_work``), recording
+``parallel_fallbacks``, the reason on the outcome, and a
+``parallel→serial`` step on the outcome's
+:class:`~repro.resilience.DegradationReport` — so a parallel call can
+never produce worse results than a serial one, only, at worst, the same
+results later. A :class:`~repro.resilience.FaultInjector` can be armed
+on the engine to exercise exactly these paths (``shard.crash``,
+``shard.slow``, ``merge.count``) deterministically.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import pickle
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures import ALL_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.compression import CompressionResult, compress
@@ -52,11 +63,23 @@ from repro.core.planner import (
 from repro.data.io import canonical_pattern_rows
 from repro.data.patterns import PatternSet
 from repro.data.transactions import TransactionDatabase
-from repro.errors import ParallelError
+from repro.errors import ParallelError, ReproError
 from repro.metrics.counters import CostCounters
 from repro.mining.registry import get_miner
 from repro.parallel.merge import MergeResult, merge_shard_patterns
 from repro.parallel.sharding import Shard, ShardPlanner
+from repro.resilience import (
+    MERGE_COUNT,
+    REASON_DEADLINE,
+    REASON_MERGE_FAILED,
+    REASON_SHARD_FAILED,
+    REASON_WORKER_ERROR,
+    SHARD_CRASH,
+    SHARD_SLOW,
+    DegradationReport,
+    FaultInjector,
+    RetryPolicy,
+)
 
 #: Serialized pattern set: ((sorted items...), support) pairs.
 PatternRows = tuple[tuple[tuple[int, ...], int], ...]
@@ -84,6 +107,14 @@ def rows_to_patterns(rows: Iterable[tuple[tuple[int, ...], int]]) -> PatternSet:
     return patterns
 
 
+def counters_from_dict(values: dict[str, int]) -> CostCounters:
+    """Rebuild a worker's counters from its name→int wire form."""
+    counters = CostCounters()
+    for name, amount in values.items():
+        counters.add(name, amount)
+    return counters
+
+
 @dataclass(frozen=True)
 class ShardTask:
     """Everything one worker needs, in pickle-friendly form.
@@ -93,7 +124,10 @@ class ShardTask:
     plan against its shard database; ``scratch`` → baseline mining (the
     global run had nothing to recycle); otherwise the shard groups *are*
     the compressed database and the recycling miner consumes them
-    directly. ``fail`` is a test hook simulating a worker crash.
+    directly. ``fail`` makes the worker raise (a crash, injected by the
+    ``shard.crash`` fault point or the legacy ``failure_injection``
+    hook); ``delay_seconds`` makes it sleep first (a straggler, injected
+    by ``shard.slow``).
     """
 
     shard: Shard
@@ -106,6 +140,7 @@ class ShardTask:
     feedstock_support: int | None = None
     scratch: bool = False
     fail: bool = False
+    delay_seconds: float = 0.0
 
 
 def run_shard_task(task: ShardTask) -> dict[str, object]:
@@ -121,6 +156,8 @@ def run_shard_task(task: ShardTask) -> dict[str, object]:
         )
     counters = CostCounters()
     started = time.perf_counter()
+    if task.delay_seconds > 0:
+        time.sleep(task.delay_seconds)
     shard = task.shard
     if task.feedstock is not None:
         feedstock = rows_to_patterns(task.feedstock)
@@ -170,6 +207,30 @@ def run_shard_task(task: ShardTask) -> dict[str, object]:
     }
 
 
+class ShardPassError(ParallelError):
+    """The shard pass failed as a whole (after per-shard retries).
+
+    Carries everything the engine needs to degrade gracefully: the
+    results of every shard that *did* complete (their counters are
+    salvaged into the fallback run's accounting), per-shard attempt
+    counts, and a short machine-readable reason code for the
+    degradation report.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str,
+        completed: list[dict[str, object]],
+        attempts: dict[int, int],
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.completed = completed
+        self.attempts = attempts
+
+
 @dataclass(frozen=True)
 class ShardOutcome:
     """One worker's report, as the caller keeps it."""
@@ -181,6 +242,7 @@ class ShardOutcome:
     tuple_count: int
     elapsed_seconds: float
     pattern_count: int
+    attempts: int = 1
 
 
 @dataclass(frozen=True)
@@ -190,7 +252,8 @@ class ParallelOutcome:
     ``patterns`` is always the exact global answer. ``jobs`` is the
     effective shard count actually mined (1 when the engine short-
     circuited to the in-process path); ``fallback`` records that workers
-    were attempted but failed and the serial path answered instead.
+    were attempted but failed and the serial path answered instead, with
+    the machine-readable chain on ``degradation``.
     ``critical_path_seconds`` models the wall-clock of an ideally
     parallel execution: Phase 1 + the slowest shard + the merge — the
     number a single-core host can still report honestly.
@@ -207,6 +270,7 @@ class ParallelOutcome:
     fallback_reason: str | None = None
     elapsed_seconds: float = 0.0
     critical_path_seconds: float = 0.0
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
 
 class ParallelEngine:
@@ -218,8 +282,9 @@ class ParallelEngine:
         Worker process count requested (the planner may produce fewer
         shards on small inputs).
     timeout_seconds:
-        Deadline for the whole shard pass; missing it triggers the
-        in-process fallback.
+        Wall-clock deadline for the whole shard pass, retries and
+        backoff sleeps included; missing it triggers the in-process
+        fallback.
     executor:
         ``"process"`` (real ``ProcessPoolExecutor``) or ``"inline"``
         (same tasks, same pickling round-trip, run sequentially in this
@@ -228,9 +293,18 @@ class ParallelEngine:
     shard_feedstock / on_shard_result:
         Warehouse hooks: slice recycling feedstock per shard fingerprint
         going out, bank fresh per-shard results coming back.
+    retry_policy:
+        Per-shard retry budget (attempts + backoff); the default retries
+        each failed shard up to twice before the engine gives up on the
+        parallel pass. ``RetryPolicy(max_attempts=1)`` disables retries.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector`; the engine
+        evaluates ``shard.crash`` and ``shard.slow`` once per shard
+        *attempt* (so an ``on_calls=(1,)`` crash is healed by the first
+        retry) and fires ``merge.count`` once per merge pass.
     failure_injection:
-        Shard indices whose tasks raise inside the worker (test hook for
-        the crash-fallback path).
+        Legacy hook: shard indices whose tasks always raise inside the
+        worker (unconditional, unlike the injector's scheduled faults).
     """
 
     def __init__(
@@ -241,6 +315,8 @@ class ParallelEngine:
         executor: str = "process",
         shard_feedstock: ShardFeedstockFn | None = None,
         on_shard_result: ShardResultFn | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
         failure_injection: Iterable[int] = (),
     ) -> None:
         if jobs < 1:
@@ -254,6 +330,8 @@ class ParallelEngine:
         self.executor = executor
         self.shard_feedstock = shard_feedstock
         self.on_shard_result = on_shard_result
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.faults = fault_injector
         self.failure_injection = frozenset(failure_injection)
 
     # ------------------------------------------------------------------
@@ -392,34 +470,64 @@ class ParallelEngine:
                     feedstock=feedstock_rows,
                     feedstock_support=feedstock_support,
                     scratch=scratch,
-                    fail=shard.index in self.failure_injection,
                 )
             )
 
+        attempts: dict[int, int] = {}
         try:
-            results = self._execute(tasks)
-        except Exception as exc:
-            if counters is not None:
-                counters.add("parallel_fallbacks")
-            patterns = serial()
-            elapsed = time.perf_counter() - started
-            return ParallelOutcome(
-                patterns=patterns,
+            results = self._execute(tasks, attempts)
+        except ShardPassError as exc:
+            return self._fall_back(
+                serial=serial,
+                counters=counters,
                 path=path,
-                requested_jobs=self.jobs,
-                jobs=1,
                 compression=compression,
-                fallback=True,
-                fallback_reason=f"{type(exc).__name__}: {exc}",
-                elapsed_seconds=elapsed,
-                critical_path_seconds=elapsed,
+                started=started,
+                reason=f"{type(exc).__name__}: {exc}",
+                code=exc.code,
+                completed=exc.completed,
+                attempts=exc.attempts,
+            )
+        except Exception as exc:
+            # Non-library failures (a worker pool that cannot spawn, a
+            # pickling surprise) degrade the same way.
+            return self._fall_back(
+                serial=serial,
+                counters=counters,
+                path=path,
+                compression=compression,
+                started=started,
+                reason=f"{type(exc).__name__}: {exc}",
+                code=REASON_WORKER_ERROR,
+                completed=[],
+                attempts=attempts,
             )
 
-        merge_started = time.perf_counter()
-        shard_patterns = [rows_to_patterns(r["patterns"]) for r in results]
-        merge = merge_shard_patterns(
-            shard_patterns, grouped, min_support, counters
-        )
+        try:
+            if self.faults is not None:
+                # The merge pass's exact recount is the last place a
+                # parallel run can go wrong; injectable like the rest.
+                self.faults.fire(MERGE_COUNT, detail="merge pass")
+            merge_started = time.perf_counter()
+            shard_patterns = [rows_to_patterns(r["patterns"]) for r in results]
+            merge = merge_shard_patterns(
+                shard_patterns, grouped, min_support, counters
+            )
+        except Exception as exc:
+            # A merge failure (injected or real) after the shards
+            # finished: all shard results are wasted, but their counters
+            # are still real cost — salvage them.
+            return self._fall_back(
+                serial=serial,
+                counters=counters,
+                path=path,
+                compression=compression,
+                started=started,
+                reason=f"{type(exc).__name__}: {exc}",
+                code=REASON_MERGE_FAILED,
+                completed=results,
+                attempts=attempts,
+            )
         merge_seconds = time.perf_counter() - merge_started
 
         outcomes = []
@@ -433,13 +541,11 @@ class ParallelEngine:
                     tuple_count=result["tuple_count"],
                     elapsed_seconds=result["elapsed_seconds"],
                     pattern_count=len(patterns),
+                    attempts=attempts.get(result["index"], 1),
                 )
             )
             if counters is not None:
-                worker = CostCounters()
-                for name, amount in result["counters"].items():
-                    worker.add(name, amount)
-                counters.merge(worker)
+                counters.merge(counters_from_dict(result["counters"]))
             if self.on_shard_result is not None and result["path"] != PATH_FILTER:
                 self.on_shard_result(
                     result["fingerprint"], result["local_support"], patterns
@@ -447,6 +553,10 @@ class ParallelEngine:
         if counters is not None:
             counters.add("parallel_runs")
             counters.add("parallel_shards", len(outcomes))
+            counters.add("parallel_shard_attempts", sum(attempts.values()))
+            retries = sum(attempts.values()) - len(outcomes)
+            if retries > 0:
+                counters.add("parallel_shard_retries", retries)
 
         elapsed = time.perf_counter() - started
         slowest = max(o.elapsed_seconds for o in outcomes)
@@ -462,34 +572,224 @@ class ParallelEngine:
             critical_path_seconds=phase1_seconds + slowest + merge_seconds,
         )
 
+    def _fall_back(
+        self,
+        *,
+        serial: Callable[[], PatternSet],
+        counters: CostCounters | None,
+        path: str,
+        compression: CompressionResult | None,
+        started: float,
+        reason: str,
+        code: str,
+        completed: list[dict[str, object]],
+        attempts: dict[int, int],
+    ) -> ParallelOutcome:
+        """Serve serially after a failed shard pass, salvaging what ran.
+
+        Shards that completed before the pass died did real work; their
+        counters are merged into the run's accounting (the cost was
+        paid) and the total is also recorded under
+        ``parallel_wasted_work`` so the waste is visible as waste.
+        """
+        if counters is not None:
+            wasted = CostCounters()
+            for result in completed:
+                wasted.merge(counters_from_dict(result["counters"]))
+            if completed:
+                counters.merge(wasted)
+                counters.add("parallel_wasted_work", wasted.total_work())
+                counters.add("parallel_wasted_shards", len(completed))
+            if attempts:
+                counters.add("parallel_shard_attempts", sum(attempts.values()))
+            counters.add("parallel_fallbacks")
+        degradation = DegradationReport()
+        degradation.record("parallel", "serial", code)
+        patterns = serial()
+        elapsed = time.perf_counter() - started
+        return ParallelOutcome(
+            patterns=patterns,
+            path=path,
+            requested_jobs=self.jobs,
+            jobs=1,
+            compression=compression,
+            fallback=True,
+            fallback_reason=reason,
+            elapsed_seconds=elapsed,
+            critical_path_seconds=elapsed,
+            degradation=degradation,
+        )
+
     # ------------------------------------------------------------------
     # executors
     # ------------------------------------------------------------------
-    def _execute(self, tasks: list[ShardTask]) -> list[dict[str, object]]:
+    def _arm(self, task: ShardTask) -> ShardTask:
+        """Apply this attempt's fault schedule to a task.
+
+        Evaluated once per shard *attempt*, so a ``shard.crash`` armed
+        ``on_calls=(1,)`` fails the first attempt and heals on retry —
+        the transient-crash scenario the retry path exists for.
+        """
+        fail = task.shard.index in self.failure_injection
+        delay = 0.0
+        if self.faults is not None:
+            if self.faults.evaluate(SHARD_CRASH) is not None:
+                fail = True
+            slow = self.faults.evaluate(SHARD_SLOW)
+            if slow is not None:
+                delay = slow.delay_seconds
+        if fail == task.fail and delay == task.delay_seconds:
+            return task
+        return dataclasses.replace(task, fail=fail, delay_seconds=delay)
+
+    def _execute(
+        self, tasks: list[ShardTask], attempts: dict[int, int]
+    ) -> list[dict[str, object]]:
+        """Run every task to completion, retrying shards individually.
+
+        ``attempts`` is filled in-place (shard index → attempts used) so
+        the caller can account for retries whether the pass succeeds or
+        dies mid-way. Raises :class:`ShardPassError` — carrying the
+        completed results — when a shard exhausts its retry budget or
+        the wall-clock deadline passes.
+        """
+        for task in tasks:
+            attempts[task.shard.index] = 0
         if self.executor == "inline":
-            # Same worker function, same pickling round-trip, no
-            # processes — the cheap way to exercise the exact shard code
-            # path deterministically (property tests, 1-core hosts).
-            return [
-                run_shard_task(pickle.loads(pickle.dumps(task)))
-                for task in tasks
-            ]
-        deadline = self.timeout_seconds
+            return self._execute_inline(tasks, attempts)
+        return self._execute_process(tasks, attempts)
+
+    def _deadline(self, start: float) -> float | None:
+        if self.timeout_seconds is None:
+            return None
+        return start + self.timeout_seconds
+
+    def _execute_inline(
+        self, tasks: list[ShardTask], attempts: dict[int, int]
+    ) -> list[dict[str, object]]:
+        # Same worker function, same pickling round-trip, no processes —
+        # the cheap way to exercise the exact shard code path (and the
+        # retry/deadline machinery) deterministically.
+        start = time.monotonic()
+        deadline = self._deadline(start)
+        completed: list[dict[str, object]] = []
+        for task in tasks:
+            index = task.shard.index
+            while True:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise ShardPassError(
+                        f"shard pass missed its {self.timeout_seconds}s "
+                        f"deadline ({len(tasks) - len(completed)} of "
+                        f"{len(tasks)} shards unfinished)",
+                        code=REASON_DEADLINE,
+                        completed=completed,
+                        attempts=attempts,
+                    )
+                attempts[index] += 1
+                armed = self._arm(task)
+                try:
+                    result = run_shard_task(pickle.loads(pickle.dumps(armed)))
+                except ReproError as exc:
+                    self._budget_retry(
+                        index, attempts, exc, deadline, completed, len(tasks)
+                    )
+                    continue
+                completed.append(result)
+                break
+        return completed
+
+    def _execute_process(
+        self, tasks: list[ShardTask], attempts: dict[int, int]
+    ) -> list[dict[str, object]]:
+        start = time.monotonic()
+        deadline = self._deadline(start)
+        completed: dict[int, dict[str, object]] = {}
+        pending = list(tasks)
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(tasks))
         ) as pool:
-            futures = [pool.submit(run_shard_task, task) for task in tasks]
-            done, pending = wait(
-                futures, timeout=deadline, return_when=FIRST_EXCEPTION
-            )
-            if pending:
-                for future in pending:
-                    future.cancel()
-                raise ParallelError(
-                    f"shard pass missed its {deadline}s deadline "
-                    f"({len(pending)} of {len(futures)} shards unfinished)"
+            while pending:
+                futures = {}
+                for task in pending:
+                    attempts[task.shard.index] += 1
+                    futures[pool.submit(run_shard_task, self._arm(task))] = task
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
                 )
-            return [future.result() for future in futures]
+                done, not_done = wait(
+                    futures, timeout=remaining, return_when=ALL_COMPLETED
+                )
+                results = list(completed.values())
+                for future in done:
+                    if future.exception() is None:
+                        results.append(future.result())
+                if not_done:
+                    for future in not_done:
+                        future.cancel()
+                    raise ShardPassError(
+                        f"shard pass missed its {self.timeout_seconds}s "
+                        f"deadline ({len(not_done)} of {len(futures)} shards "
+                        "unfinished)",
+                        code=REASON_DEADLINE,
+                        completed=results,
+                        attempts=attempts,
+                    )
+                retry: list[ShardTask] = []
+                failures: list[tuple[ShardTask, BaseException]] = []
+                for future, task in futures.items():
+                    error = future.exception()
+                    if error is None:
+                        completed[task.shard.index] = future.result()
+                    else:
+                        failures.append((task, error))
+                results = list(completed.values())
+                for task, error in sorted(
+                    failures, key=lambda pair: pair[0].shard.index
+                ):
+                    index = task.shard.index
+                    self._budget_retry(
+                        index, attempts, error, deadline, results, len(tasks)
+                    )
+                    retry.append(task)
+                pending = retry
+        return [completed[task.shard.index] for task in tasks]
+
+    def _budget_retry(
+        self,
+        index: int,
+        attempts: dict[int, int],
+        error: BaseException,
+        deadline: float | None,
+        completed: list[dict[str, object]],
+        total: int,
+    ) -> None:
+        """Sleep the backoff before retrying shard ``index``, or give up.
+
+        Raises :class:`ShardPassError` when the attempt budget is spent
+        or the backoff sleep would cross the wall-clock deadline — the
+        retry machinery never makes a run *slower* than its deadline.
+        """
+        used = attempts[index]
+        if self.retry_policy.retries_remaining(used) == 0:
+            raise ShardPassError(
+                f"shard {index} failed after {used} attempt(s): {error}",
+                code=REASON_SHARD_FAILED,
+                completed=completed,
+                attempts=attempts,
+            )
+        delay = self.retry_policy.backoff_delay(used, salt=index)
+        if deadline is not None and time.monotonic() + delay >= deadline:
+            raise ShardPassError(
+                f"shard {index} retry backoff would cross the "
+                f"{self.timeout_seconds}s deadline ({error})",
+                code=REASON_DEADLINE,
+                completed=completed,
+                attempts=attempts,
+            )
+        if delay > 0:
+            time.sleep(delay)
 
 
 def parallel_recycle_mine(

@@ -1,0 +1,92 @@
+"""Structured record of how a request was degraded, and why.
+
+"Failure is not an error" runs through the whole stack — the parallel
+engine falls back to serial, the service skips an open-circuit parallel
+path, the warehouse serves a miss where quarantined feedstock used to
+be, write-throughs degrade to memory-only. Each of those is the *right*
+behavior, but an operator (and the acceptance tests) must be able to see
+that it happened. A :class:`DegradationReport` is that audit trail: an
+ordered chain of ``requested → served: reason`` steps accumulated as a
+request descends the degradation ladder, returned on
+:class:`~repro.service.MineResponse`, folded into ``ServiceStats`` and
+printed by the CLI.
+
+Reason strings are short machine-readable codes (``circuit_open``,
+``shard_failed``, ``deadline``, ``merge_failed``, ``worker_error``,
+``feedstock_quarantined``, ``warehouse_read_failed``, ``write_failed``)
+so they aggregate cleanly; human detail belongs in logs and
+``fallback_reason`` fields, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The reason codes emitted by the shipped hook sites. Not enforced —
+#: new sites may add codes — but tests and dashboards key off these.
+REASON_CIRCUIT_OPEN = "circuit_open"
+REASON_SHARD_FAILED = "shard_failed"
+REASON_DEADLINE = "deadline"
+REASON_MERGE_FAILED = "merge_failed"
+REASON_WORKER_ERROR = "worker_error"
+REASON_FEEDSTOCK_QUARANTINED = "feedstock_quarantined"
+REASON_WAREHOUSE_READ_FAILED = "warehouse_read_failed"
+REASON_WRITE_FAILED = "write_failed"
+
+
+@dataclass(frozen=True)
+class DegradationStep:
+    """One rung down the ladder: what was asked for, what was served."""
+
+    requested: str
+    served: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.requested}→{self.served}: {self.reason}"
+
+
+class DegradationReport:
+    """An ordered, append-only chain of degradation steps.
+
+    Mutable by design: one report threads through planner, engine and
+    service for a single request, each hook appending the step it took.
+    Not thread-safe — a report belongs to exactly one request.
+    """
+
+    def __init__(self, steps: tuple[DegradationStep, ...] = ()) -> None:
+        self._steps: list[DegradationStep] = list(steps)
+
+    def record(self, requested: str, served: str, reason: str) -> None:
+        """Append one ``requested → served: reason`` step."""
+        self._steps.append(DegradationStep(requested, served, reason))
+
+    def extend(self, other: "DegradationReport") -> None:
+        """Append every step of another report (e.g. an engine's outcome)."""
+        self._steps.extend(other.steps)
+
+    @property
+    def steps(self) -> tuple[DegradationStep, ...]:
+        return tuple(self._steps)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything was served below what was requested."""
+        return bool(self._steps)
+
+    def describe(self) -> str:
+        """The whole chain as one line (empty string when undegraded)."""
+        return "; ".join(step.describe() for step in self._steps)
+
+    def reasons(self) -> list[str]:
+        """The per-step ``requested→served: reason`` labels, in order."""
+        return [step.describe() for step in self._steps]
+
+    def __bool__(self) -> bool:
+        return self.degraded
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __repr__(self) -> str:
+        return f"DegradationReport({self.describe()!r})"

@@ -9,19 +9,34 @@ session uses — filter a cached superset, recycle a cached subset, or
 mine from scratch — so the service never re-derives what the warehouse
 already paid for.
 
-Two service-level mechanisms ride on top:
+Three service-level mechanisms ride on top:
 
 * **Single-flight coalescing.** Identical requests (same database
   fingerprint, absolute support, algorithm, strategy and backend) that are in
   flight at the same time share one underlying computation; followers
   attach to the leader's future instead of mining again. De-duplication
   happens at submit time in the caller's thread, so even requests that
-  are still queued behind a busy pool coalesce.
+  are still queued behind a busy pool coalesce. A leader that fails
+  propagates its exception to every waiter, and the in-flight key is
+  cleared first, so the next identical submit starts fresh.
+* **A degradation ladder, not a cliff.** Every response carries a
+  :class:`~repro.resilience.DegradationReport` naming each rung the
+  request descended: a :class:`~repro.resilience.CircuitBreaker` trips
+  the parallel path to serial for a cooldown after consecutive whole-run
+  fallbacks (``parallel→serial: circuit_open``), a failed warehouse read
+  degrades to a miss (``feedstock→miss: warehouse_read_failed``), a miss
+  where quarantined feedstock used to be is named
+  (``recycle→mine: feedstock_quarantined``), and a warehouse that lost
+  its disk keeps serving from memory (``warehouse→memory_only:
+  write_failed``). The :class:`~repro.resilience.ResilienceConfig`
+  threads retry/backoff budgets and a
+  :class:`~repro.resilience.FaultInjector` into every engine the service
+  builds.
 * **Service statistics.** Every response is folded into a thread-safe
   :class:`ServiceStats`: per-path counts (filter hits / recycles /
-  misses), coalesced request count, underlying computation count, and
-  latency quantiles (p50/p95), plus the warehouse's own byte/eviction
-  accounting.
+  misses), coalesced request count, underlying computation count,
+  latency quantiles (p50/p95), degraded-response counts by reason, and
+  the circuit breaker's live state.
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.planner import PATH_FILTER, execute_plan, plan_support_path
 from repro.data.transactions import TransactionDatabase
@@ -37,6 +52,15 @@ from repro.errors import ReproError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import has_miner
+from repro.resilience import (
+    REASON_CIRCUIT_OPEN,
+    REASON_FEEDSTOCK_QUARANTINED,
+    REASON_WAREHOUSE_READ_FAILED,
+    REASON_WRITE_FAILED,
+    CircuitBreaker,
+    DegradationReport,
+    ResilienceConfig,
+)
 from repro.service.warehouse import PatternWarehouse
 
 
@@ -69,6 +93,8 @@ class MineResponse:
     ``counters`` belong to the underlying computation; a coalesced
     follower shares its leader's counters (the work was paid once), which
     is why aggregate accounting should sum over non-coalesced responses.
+    ``degradation`` names every rung of the ladder the computation
+    descended (empty when the request was served exactly as asked).
     """
 
     tenant: str
@@ -81,6 +107,7 @@ class MineResponse:
     counters: CostCounters
     jobs: int = 1
     parallel_fallback: bool = False
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     @property
     def pattern_count(self) -> int:
@@ -99,6 +126,7 @@ class _Computation:
     elapsed_seconds: float
     jobs: int = 1
     parallel_fallback: bool = False
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
 
 class ServiceStats:
@@ -116,7 +144,14 @@ class ServiceStats:
         self.recycle_runs = 0
         self.parallel_runs = 0
         self.parallel_fallbacks = 0
+        self.degraded = 0
+        self._degradation_reasons: dict[str, int] = {}
         self._latencies: list[float] = []
+        self._breaker: CircuitBreaker | None = None
+
+    def attach_breaker(self, breaker: CircuitBreaker) -> None:
+        """Surface a circuit breaker's live state in :meth:`snapshot`."""
+        self._breaker = breaker
 
     def record(self, response: MineResponse) -> None:
         with self._lock:
@@ -139,6 +174,12 @@ class ServiceStats:
                     self.parallel_runs += 1
                 if response.parallel_fallback:
                     self.parallel_fallbacks += 1
+            if response.degradation.degraded:
+                self.degraded += 1
+                for label in response.degradation.reasons():
+                    self._degradation_reasons[label] = (
+                        self._degradation_reasons.get(label, 0) + 1
+                    )
             self._latencies.append(response.elapsed_seconds)
 
     def latency_quantile(self, q: float) -> float:
@@ -151,20 +192,33 @@ class ServiceStats:
             return ordered[index]
 
     def path_rates(self) -> dict[str, float]:
-        """Per-path request fractions, safe on an empty window.
+        """Per-path (and degraded) request fractions, safe on an empty window.
 
         A fresh service (or an all-coalesced window, where every request
         rode a leader) must report rates without dividing by zero — each
-        rate is defined as 0.0 when no requests have been recorded.
+        rate is defined as 0.0 when no requests have been recorded. The
+        ``degraded`` rate counts responses whose ladder has at least one
+        step, whatever path ultimately served them.
         """
         with self._lock:
             if self.requests == 0:
-                return {"filter": 0.0, "recycle": 0.0, "mine": 0.0}
+                return {"filter": 0.0, "recycle": 0.0, "mine": 0.0, "degraded": 0.0}
             return {
                 "filter": self.filter_hits / self.requests,
                 "recycle": self.recycles / self.requests,
                 "mine": self.misses / self.requests,
+                "degraded": self.degraded / self.requests,
             }
+
+    def degradation_summary(self) -> dict[str, int]:
+        """Counts per ``requested→served: reason`` label, most common first."""
+        with self._lock:
+            return dict(
+                sorted(
+                    self._degradation_reasons.items(),
+                    key=lambda item: (-item[1], item[0]),
+                )
+            )
 
     def snapshot(self) -> dict[str, float]:
         """All aggregates as a plain dict (latencies as p50/p95)."""
@@ -172,6 +226,11 @@ class ServiceStats:
         p95 = self.latency_quantile(0.95)
         rates = self.path_rates()
         with self._lock:
+            breaker = (
+                self._breaker.snapshot()
+                if self._breaker is not None
+                else {"state": "closed", "trips": 0}
+            )
             return {
                 "requests": self.requests,
                 "filter_hits": self.filter_hits,
@@ -183,9 +242,13 @@ class ServiceStats:
                 "recycle_runs": self.recycle_runs,
                 "parallel_runs": self.parallel_runs,
                 "parallel_fallbacks": self.parallel_fallbacks,
+                "degraded": self.degraded,
                 "filter_rate": rates["filter"],
                 "recycle_rate": rates["recycle"],
                 "mine_rate": rates["mine"],
+                "degraded_rate": rates["degraded"],
+                "breaker_open": float(breaker["state"] != "closed"),
+                "breaker_trips": float(breaker["trips"]),
                 "latency_p50_s": p50,
                 "latency_p95_s": p95,
             }
@@ -207,7 +270,14 @@ class MiningService:
         requests, called as ``factory(jobs, shard_feedstock,
         on_shard_result)``. Tests use it to inject failures or force the
         inline executor; ``None`` builds a standard
-        :class:`~repro.parallel.ParallelEngine`.
+        :class:`~repro.parallel.ParallelEngine` configured from
+        ``resilience``.
+    resilience:
+        Retry/backoff budget and fault injector threaded into every
+        engine the service builds, plus (optionally) the circuit
+        breaker guarding the parallel path. When the config carries no
+        breaker a default one is created, so breaker state is always
+        live in :class:`ServiceStats`.
     """
 
     def __init__(
@@ -215,12 +285,16 @@ class MiningService:
         warehouse: PatternWarehouse | None = None,
         max_workers: int = 4,
         parallel_engine_factory=None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if max_workers < 1:
             raise ReproError(f"max_workers must be >= 1, got {max_workers}")
         self.warehouse = warehouse
         self._parallel_engine_factory = parallel_engine_factory
+        self.resilience = resilience or ResilienceConfig()
+        self.breaker = self.resilience.breaker or CircuitBreaker()
         self.stats = ServiceStats()
+        self.stats.attach_breaker(self.breaker)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-mining"
         )
@@ -287,6 +361,7 @@ class MiningService:
                 counters=computation.counters,
                 jobs=computation.jobs,
                 parallel_fallback=computation.parallel_fallback,
+                degradation=computation.degradation,
             )
             self.stats.record(response)
             response_future.set_result(response)
@@ -330,6 +405,9 @@ class MiningService:
         try:
             computation = self._compute(key[0], request, absolute)
         except BaseException as exc:  # propagate to every waiter
+            # Clear the in-flight entry *before* failing the future, so
+            # a retry submitted by any waiter starts a fresh leader
+            # instead of re-attaching to this corpse.
             with self._inflight_lock:
                 self._inflight.pop(key, None)
             leader.set_exception(exc)
@@ -341,16 +419,32 @@ class MiningService:
             self._inflight.pop(key, None)
         leader.set_result(computation)
 
+    def _find_feedstock(
+        self, fingerprint: str, absolute: int, degradation: DegradationReport
+    ):
+        """Consult the warehouse, degrading read failures to a miss."""
+        if self.warehouse is None:
+            return None
+        try:
+            hit = self.warehouse.best_feedstock(fingerprint, absolute)
+        except ReproError:
+            # An injected (or genuine) read failure: the feedstock is
+            # unavailable, not poisoned — serve a miss and keep going.
+            degradation.record("feedstock", "miss", REASON_WAREHOUSE_READ_FAILED)
+            return None
+        if hit is None and self.warehouse.has_quarantined(fingerprint):
+            # Not a cold miss: this database *had* stored patterns, and
+            # they were quarantined at load. Name the real reason.
+            degradation.record("recycle", "mine", REASON_FEEDSTOCK_QUARANTINED)
+        return hit
+
     def _compute(
         self, fingerprint: str, request: MineRequest, absolute: int
     ) -> _Computation:
         counters = CostCounters()
+        degradation = DegradationReport()
         started = time.perf_counter()
-        hit = (
-            self.warehouse.best_feedstock(fingerprint, absolute)
-            if self.warehouse is not None
-            else None
-        )
+        hit = self._find_feedstock(fingerprint, absolute, degradation)
         plan = plan_support_path(
             absolute,
             hit.patterns if hit is not None else None,
@@ -359,9 +453,26 @@ class MiningService:
         jobs = 1
         parallel_fallback = False
         if request.jobs > 1 and plan.path != PATH_FILTER:
-            jobs, parallel_fallback, patterns = self._compute_parallel(
-                request, absolute, plan, counters
-            )
+            if not self.breaker.allow():
+                degradation.record("parallel", "serial", REASON_CIRCUIT_OPEN)
+                counters.add("parallel_circuit_skips")
+                patterns = execute_plan(
+                    plan,
+                    request.db,
+                    absolute,
+                    algorithm=request.algorithm,
+                    strategy=request.strategy,
+                    counters=counters,
+                    backend=request.backend,
+                )
+            else:
+                jobs, parallel_fallback, patterns = self._compute_parallel(
+                    request, absolute, plan, counters, degradation
+                )
+                if parallel_fallback:
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
         else:
             patterns = execute_plan(
                 plan,
@@ -376,7 +487,10 @@ class MiningService:
             # Filter results are cheap derivations of an existing entry;
             # storing them would only dilute the byte budget. Mined and
             # recycled sets are new capital — shelve them.
+            was_memory_only = self.warehouse.memory_only_reason is not None
             self.warehouse.put(fingerprint, absolute, patterns)
+            if not was_memory_only and self.warehouse.memory_only_reason:
+                degradation.record("warehouse", "memory_only", REASON_WRITE_FAILED)
         elapsed = time.perf_counter() - started
         return _Computation(
             path=plan.path,
@@ -387,10 +501,16 @@ class MiningService:
             elapsed_seconds=elapsed,
             jobs=jobs,
             parallel_fallback=parallel_fallback,
+            degradation=degradation,
         )
 
     def _compute_parallel(
-        self, request: MineRequest, absolute: int, plan, counters: CostCounters
+        self,
+        request: MineRequest,
+        absolute: int,
+        plan,
+        counters: CostCounters,
+        degradation: DegradationReport,
     ) -> tuple[int, bool, PatternSet]:
         """Fan a heavy request out through the sharded engine.
 
@@ -408,7 +528,10 @@ class MiningService:
             warehouse = self.warehouse
 
             def shard_feedstock(fingerprint: str, local_support: int):
-                hit = warehouse.best_feedstock(fingerprint, local_support)
+                try:
+                    hit = warehouse.best_feedstock(fingerprint, local_support)
+                except ReproError:
+                    return None  # a failed shard read is just a cold shard
                 if hit is None:
                     return None
                 return hit.patterns, hit.absolute_support
@@ -427,6 +550,8 @@ class MiningService:
                 request.jobs,
                 shard_feedstock=shard_feedstock,
                 on_shard_result=on_shard_result,
+                retry_policy=self.resilience.retry,
+                fault_injector=self.resilience.faults,
             )
         if plan.path == PATH_RECYCLE:
             outcome = engine.recycle_mine(
@@ -447,4 +572,5 @@ class MiningService:
                 counters=counters,
                 backend=request.backend,
             )
+        degradation.extend(outcome.degradation)
         return outcome.jobs, outcome.fallback, outcome.patterns

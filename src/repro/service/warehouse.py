@@ -23,26 +23,52 @@ support-level :class:`~repro.mining.patterns.PatternSet`s keyed by
   cheapest option: the largest stored ``s <= r`` (smallest superset to
   filter), then the smallest stored ``s > r`` (largest subset to
   recycle), then a miss.
-* **Optionally disk-backed.** Given a directory, every entry is also
-  written as an atomic headered pattern file
-  (:func:`repro.data.io.write_patterns_with_support`) and reloaded on
-  construction, so a warehouse survives process restarts.
+* **Optionally disk-backed, and hardened against the disk.** Given a
+  directory, every entry is also written as an atomic, checksummed
+  pattern file (:func:`repro.data.io.write_patterns_with_support`) and
+  reloaded on construction. A corrupt, truncated or checksum-mismatched
+  file never crashes construction: it is **quarantined** — moved into
+  ``<dir>/quarantine/`` and recorded on :attr:`quarantined` — while
+  every healthy entry is served. A failed write-through degrades the
+  warehouse to **memory-only** (:attr:`memory_only_reason`) with a
+  logged reason instead of failing the request that triggered it.
+* **Integrity is auditable without re-mining.** :meth:`verify_entry`
+  spot-checks a stored set's internal consistency: subset-support
+  monotonicity (every subset of a frequent pattern is frequent, at at
+  least the same support) plus the Calders–Goethals non-derivable-
+  itemset bounds (``supp(I) >= supp(I∖a) + supp(I∖b) − supp(I∖ab)``),
+  which hold for any genuine full frequent-pattern set.
+
+A :class:`~repro.resilience.FaultInjector` can be armed on the
+constructor; the warehouse fires ``warehouse.read`` per file load and
+per feedstock lookup and ``warehouse.write`` per write-through, so the
+chaos suite drives the quarantine and degradation paths
+deterministically.
 """
 
 from __future__ import annotations
 
+import logging
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import combinations
 from pathlib import Path
 
 from repro.data.io import read_patterns_with_support, write_patterns_with_support
-from repro.errors import StorageError
+from repro.errors import DataError, InjectedFaultError, StorageError
 from repro.mining.patterns import PatternSet
+from repro.resilience import WAREHOUSE_READ, WAREHOUSE_WRITE, FaultInjector
 from repro.storage.disk import patterns_byte_size
+
+logger = logging.getLogger(__name__)
 
 #: Filename pattern for disk-backed entries: <fingerprint>-<support>.patterns
 _FILE_SUFFIX = ".patterns"
+
+#: Subdirectory corrupt files are moved into (never scanned on load).
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass(frozen=True)
@@ -53,6 +79,20 @@ class WarehouseHit:
     absolute_support: int  # the support the stored set was mined at
     patterns: PatternSet
     exact: bool  # stored support == requested support
+
+
+@dataclass(frozen=True)
+class IntegrityReport:
+    """The outcome of one :meth:`PatternWarehouse.verify_entry` audit."""
+
+    fingerprint: str
+    absolute_support: int
+    checks: int
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
 
 
 class PatternWarehouse:
@@ -68,17 +108,23 @@ class PatternWarehouse:
         Optional directory for persistence. Existing entries are loaded
         on construction (in deterministic filename order, so reloading
         is reproducible); puts write through and evictions delete.
+        Unreadable or corrupt files are quarantined, never fatal.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector` armed at the
+        ``warehouse.read`` / ``warehouse.write`` fault points.
     """
 
     def __init__(
         self,
         byte_budget: int | None = None,
         directory: str | Path | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if byte_budget is not None and byte_budget <= 0:
             raise StorageError(f"byte_budget must be positive, got {byte_budget}")
         self.byte_budget = byte_budget
         self.directory = Path(directory) if directory is not None else None
+        self.faults = fault_injector
         self._lock = threading.RLock()
         # (fingerprint, support) -> (patterns, byte size); insertion order
         # doubles as recency order (least recently used first).
@@ -88,6 +134,11 @@ class PatternWarehouse:
         self._stored_bytes = 0
         self.evictions = 0
         self.rejections = 0
+        #: (filename, reason) for every file quarantined at load time.
+        self.quarantined: list[tuple[str, str]] = []
+        self._quarantined_fingerprints: set[str] = set()
+        #: Why persistence was abandoned (None while disk-backed works).
+        self.memory_only_reason: str | None = None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._load_directory()
@@ -101,7 +152,9 @@ class PatternWarehouse:
         ``patterns`` must be the *full* frequent-pattern set of the
         fingerprinted database at ``absolute_support`` — the warehouse
         invariant every lookup path relies on. Storing evicts least
-        recently used entries until the byte budget holds again.
+        recently used entries until the byte budget holds again. A
+        write-through failure never loses the in-memory entry: it
+        degrades the warehouse to memory-only and logs why.
         """
         size = patterns_byte_size(patterns)
         with self._lock:
@@ -115,10 +168,17 @@ class PatternWarehouse:
             self._entries[key] = (patterns, size)
             self._stored_bytes += size
             self._evict_to_budget()
-            if self.directory is not None:
-                write_patterns_with_support(
-                    patterns, self._entry_path(key), absolute_support
-                )
+            if self._persisting():
+                try:
+                    if self.faults is not None:
+                        self.faults.fire(
+                            WAREHOUSE_WRITE, detail=f"writing {key}"
+                        )
+                    write_patterns_with_support(
+                        patterns, self._entry_path(key), absolute_support
+                    )
+                except (OSError, InjectedFaultError) as exc:
+                    self._degrade_to_memory(f"write-through for {key} failed: {exc}")
         return True
 
     def get(self, fingerprint: str, absolute_support: int) -> PatternSet | None:
@@ -141,7 +201,15 @@ class PatternWarehouse:
         is the degenerate case), then smallest stored support above it
         (the closest subset — the best recycling feedstock), else
         ``None``. The returned entry is touched for LRU purposes.
+
+        An armed ``warehouse.read`` fault fires here (raising
+        :class:`~repro.errors.InjectedFaultError`); the service treats
+        that like any failed read — degrade to a miss and mine.
         """
+        if self.faults is not None:
+            self.faults.fire(
+                WAREHOUSE_READ, detail=f"feedstock lookup {fingerprint[:12]}"
+            )
         with self._lock:
             below: int | None = None
             above: int | None = None
@@ -166,6 +234,134 @@ class PatternWarehouse:
             )
 
     # ------------------------------------------------------------------
+    # integrity auditing
+    # ------------------------------------------------------------------
+    def verify_entry(
+        self,
+        fingerprint: str,
+        absolute_support: int,
+        max_derivability_checks: int = 256,
+    ) -> IntegrityReport:
+        """Audit one stored entry's internal consistency without re-mining.
+
+        Three families of checks, all necessary conditions for the
+        warehouse invariant ("the full frequent-pattern set of the
+        fingerprinted database at ``absolute_support``"):
+
+        1. **Threshold**: every stored support is ``>= absolute_support``.
+        2. **Monotonicity/closure**: every immediate subset of a stored
+           pattern is itself stored, with support at least as large
+           (anti-monotonicity of support plus downward closure of the
+           full set).
+        3. **Derivability bounds** (Calders & Goethals, non-derivable
+           itemsets): for ``|I| >= 3`` and any pair ``{a, b} ⊆ I``,
+           inclusion–exclusion gives the lower bound
+           ``supp(I) >= supp(I∖{a}) + supp(I∖{b}) − supp(I∖{a,b})``.
+           Checked for up to ``max_derivability_checks`` deterministic
+           (canonical-order) pattern/pair combinations.
+
+        A violation proves the entry is *not* a genuine full frequent-
+        pattern set — bit rot that survived the checksum, a buggy
+        writer, or a tampered file. The audit only reports; quarantining
+        or dropping the entry is the caller's decision
+        (:meth:`drop_entry`).
+        """
+        with self._lock:
+            entry = self._entries.get((fingerprint, absolute_support))
+            if entry is None:
+                raise StorageError(
+                    f"no entry for ({fingerprint!r}, {absolute_support}) to verify"
+                )
+            patterns = entry[0]
+        supports = dict(patterns.items())
+        checks = 0
+        violations: list[str] = []
+        ordered = sorted(supports, key=lambda p: (len(p), tuple(sorted(p))))
+        for items in ordered:
+            support = supports[items]
+            checks += 1
+            if support < absolute_support:
+                violations.append(
+                    f"{sorted(items)}: support {support} below the entry "
+                    f"threshold {absolute_support}"
+                )
+            if len(items) < 2:
+                continue
+            for dropped in sorted(items):
+                subset = items - {dropped}
+                checks += 1
+                subset_support = supports.get(subset)
+                if subset_support is None:
+                    violations.append(
+                        f"{sorted(items)}: subset {sorted(subset)} missing "
+                        "from the entry (full sets are downward closed)"
+                    )
+                elif subset_support < support:
+                    violations.append(
+                        f"{sorted(items)}: subset {sorted(subset)} has "
+                        f"support {subset_support} < {support} "
+                        "(anti-monotonicity violated)"
+                    )
+        derivability_budget = max_derivability_checks
+        for items in ordered:
+            if derivability_budget <= 0:
+                break
+            if len(items) < 3:
+                continue
+            support = supports[items]
+            for a, b in combinations(sorted(items), 2):
+                if derivability_budget <= 0:
+                    break
+                without_a = items - {a}
+                without_b = items - {b}
+                without_ab = items - {a, b}
+                if not (
+                    without_a in supports
+                    and without_b in supports
+                    and without_ab in supports
+                ):
+                    continue  # already reported by the closure check
+                checks += 1
+                derivability_budget -= 1
+                lower = (
+                    supports[without_a]
+                    + supports[without_b]
+                    - supports[without_ab]
+                )
+                if support < lower:
+                    violations.append(
+                        f"{sorted(items)}: support {support} below the "
+                        f"derivability lower bound {lower} from "
+                        f"{sorted(without_a)} + {sorted(without_b)} - "
+                        f"{sorted(without_ab)}"
+                    )
+        return IntegrityReport(
+            fingerprint=fingerprint,
+            absolute_support=absolute_support,
+            checks=checks,
+            violations=tuple(violations),
+        )
+
+    def drop_entry(self, fingerprint: str, absolute_support: int) -> bool:
+        """Remove one entry (and its file); True if it existed.
+
+        The disposal half of :meth:`verify_entry`: an entry that failed
+        its audit should not keep serving as feedstock.
+        """
+        key = (fingerprint, absolute_support)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._stored_bytes -= entry[1]
+            if self._persisting():
+                try:
+                    self._entry_path(key).unlink(missing_ok=True)
+                except OSError as exc:
+                    self._degrade_to_memory(f"delete of {key} failed: {exc}")
+        return True
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stored_bytes(self) -> int:
@@ -186,8 +382,18 @@ class PatternWarehouse:
         with self._lock:
             return list(self._entries)
 
+    def has_quarantined(self, fingerprint: str) -> bool:
+        """Whether any file for ``fingerprint`` was quarantined at load.
+
+        The service uses this to name the degradation precisely: a miss
+        where quarantined feedstock used to be is
+        ``recycle→mine: feedstock_quarantined``, not a plain cold miss.
+        """
+        with self._lock:
+            return fingerprint in self._quarantined_fingerprints
+
     def stats(self) -> dict[str, int]:
-        """Structural statistics (entry count, bytes, evictions, rejections)."""
+        """Structural statistics (entry count, bytes, evictions, health)."""
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -195,11 +401,20 @@ class PatternWarehouse:
                 "byte_budget": self.byte_budget or 0,
                 "evictions": self.evictions,
                 "rejections": self.rejections,
+                "quarantined": len(self.quarantined),
+                "memory_only": int(self.memory_only_reason is not None),
             }
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _persisting(self) -> bool:
+        return self.directory is not None and self.memory_only_reason is None
+
+    def _degrade_to_memory(self, reason: str) -> None:
+        self.memory_only_reason = reason
+        logger.warning("warehouse degraded to memory-only: %s", reason)
+
     def _evict_to_budget(self) -> None:
         if self.byte_budget is None:
             return
@@ -207,13 +422,36 @@ class PatternWarehouse:
             key, (_patterns, size) = self._entries.popitem(last=False)
             self._stored_bytes -= size
             self.evictions += 1
-            if self.directory is not None:
-                self._entry_path(key).unlink(missing_ok=True)
+            if self._persisting():
+                try:
+                    self._entry_path(key).unlink(missing_ok=True)
+                except OSError as exc:
+                    self._degrade_to_memory(f"eviction of {key} failed: {exc}")
 
     def _entry_path(self, key: tuple[str, int]) -> Path:
         fingerprint, support = key
         assert self.directory is not None
         return self.directory / f"{fingerprint}-{support}{_FILE_SUFFIX}"
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad file aside and remember why; never raises."""
+        assert self.directory is not None
+        stem = path.name[: -len(_FILE_SUFFIX)]
+        fingerprint, sep, _support = stem.rpartition("-")
+        if sep and fingerprint:
+            self._quarantined_fingerprints.add(fingerprint)
+        self.quarantined.append((path.name, reason))
+        logger.warning("quarantining warehouse file %s: %s", path.name, reason)
+        target_dir = self.directory / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError as exc:
+            # The file is bad *and* immovable; leaving it in place is
+            # still safe — it is simply never loaded into the store.
+            logger.warning(
+                "could not move %s into %s/: %s", path.name, QUARANTINE_DIR, exc
+            )
 
     def _load_directory(self) -> None:
         assert self.directory is not None
@@ -222,12 +460,18 @@ class PatternWarehouse:
             fingerprint, sep, support_text = stem.rpartition("-")
             if not sep or not fingerprint:
                 continue  # not a warehouse file
-            patterns, absolute_support = read_patterns_with_support(path)
-            if str(absolute_support) != support_text:
-                raise StorageError(
-                    f"{path}: filename support {support_text!r} disagrees with "
-                    f"header {absolute_support}"
-                )
+            try:
+                if self.faults is not None:
+                    self.faults.fire(WAREHOUSE_READ, detail=f"loading {path.name}")
+                patterns, absolute_support = read_patterns_with_support(path)
+                if str(absolute_support) != support_text:
+                    raise DataError(
+                        f"filename support {support_text!r} disagrees with "
+                        f"header {absolute_support}"
+                    )
+            except (DataError, OSError, InjectedFaultError) as exc:
+                self._quarantine(path, str(exc))
+                continue
             size = patterns_byte_size(patterns)
             if self.byte_budget is not None and size > self.byte_budget:
                 self.rejections += 1

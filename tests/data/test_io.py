@@ -123,3 +123,56 @@ class TestPatternIO:
         imported = read_patterns(path)
         recycled = recycle_mine(paper_db, imported, 2)
         assert recycled == mine_hmine(paper_db, 2)
+
+
+class TestChecksumHeader:
+    def _patterns(self) -> PatternSet:
+        patterns = PatternSet()
+        patterns.add({1}, 5)
+        patterns.add({1, 2}, 3)
+        return patterns
+
+    def test_round_trip_writes_and_verifies_checksum(self, tmp_path):
+        from repro.data.io import CHECKSUM_HEADER_PREFIX
+
+        path = tmp_path / "p.patterns"
+        write_patterns_with_support(self._patterns(), path, 3)
+        lines = path.read_text().splitlines()
+        assert lines[1].startswith(CHECKSUM_HEADER_PREFIX)
+        loaded, support = read_patterns_with_support(path)
+        assert support == 3 and loaded == self._patterns()
+
+    def test_tampered_body_is_rejected(self, tmp_path):
+        from repro.errors import DataError
+
+        path = tmp_path / "p.patterns"
+        write_patterns_with_support(self._patterns(), path, 3)
+        path.write_text(path.read_text().replace(": 3", ": 9"))
+        with pytest.raises(DataError, match="checksum mismatch"):
+            read_patterns_with_support(path)
+
+    def test_truncated_body_is_rejected(self, tmp_path):
+        from repro.errors import DataError
+
+        path = tmp_path / "p.patterns"
+        write_patterns_with_support(self._patterns(), path, 3)
+        text = path.read_text()
+        path.write_text(text[: text.rindex("\n1")])  # drop the last row
+        with pytest.raises(DataError, match="checksum mismatch"):
+            read_patterns_with_support(path)
+
+    def test_headerless_checksum_file_reads_unverified(self, tmp_path):
+        """Back-compat: files written before the checksum header existed
+        carry only the support header and must still load."""
+        path = tmp_path / "p.patterns"
+        path.write_text("# absolute_support=3\n1 : 5\n1 2 : 3\n")
+        loaded, support = read_patterns_with_support(path)
+        assert support == 3 and loaded == self._patterns()
+
+    def test_missing_support_header_still_rejected(self, tmp_path):
+        from repro.errors import DataError
+
+        path = tmp_path / "p.patterns"
+        path.write_text("1 : 5\n")
+        with pytest.raises(DataError, match="no absolute_support header"):
+            read_patterns_with_support(path)

@@ -1,0 +1,134 @@
+"""Seeded chaos runs: whatever faults fire, a returned answer is exact.
+
+The CI ``chaos`` job runs this module across a fixed seed matrix
+(``CHAOS_SEED`` ∈ 0..4) and one fault profile per matrix leg
+(``CHAOS_PROFILE`` ∈ crash | slow | corrupt). Locally, with neither
+variable set, every profile runs once under seed 0 — the same code path,
+one leg of the matrix.
+
+The invariant under test is the resilience layer's contract: faults may
+change *how* a request is served (retries, serial fallback, quarantine,
+a miss instead of a hit) — recorded on the degradation ladder — but
+never *what* is returned. Every response is compared pattern-for-pattern
+against the fault-free serial answer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.io import write_patterns_with_support
+from repro.data.synthetic import QuestParams, quest_database
+from repro.mining.hmine import mine_hmine
+from repro.resilience import (
+    SHARD_CRASH,
+    SHARD_SLOW,
+    WAREHOUSE_READ,
+    WAREHOUSE_WRITE,
+    FaultInjector,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.service import MineRequest, MiningService, PatternWarehouse
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+PROFILES = ("crash", "slow", "corrupt")
+_selected = os.environ.get("CHAOS_PROFILE")
+ACTIVE_PROFILES = (_selected,) if _selected in PROFILES else PROFILES
+
+#: Requests replayed under every profile: two tenants relaxing support,
+#: so the workload crosses the mine → filter → recycle trichotomy.
+SUPPORTS = (14, 14, 9, 6)
+
+
+def chaos_injector(profile: str) -> FaultInjector:
+    injector = FaultInjector(seed=SEED)
+    if profile == "crash":
+        injector.inject(SHARD_CRASH, probability=0.4)
+    elif profile == "slow":
+        # Some shard attempts sleep past the engine deadline below.
+        injector.inject(SHARD_SLOW, probability=0.5, delay_seconds=0.08)
+    elif profile == "corrupt":
+        injector.inject(WAREHOUSE_READ, probability=0.4)
+        injector.inject(WAREHOUSE_WRITE, probability=0.4)
+    else:  # pragma: no cover - guarded by ACTIVE_PROFILES
+        raise AssertionError(profile)
+    return injector
+
+
+@pytest.mark.parametrize("profile", ACTIVE_PROFILES)
+def test_chaos_run_returns_only_exact_answers(profile, tmp_path):
+    db = quest_database(
+        QuestParams(n_transactions=100, n_items=30, avg_transaction_length=6),
+        seed=SEED,
+    )
+    expected = {support: mine_hmine(db, support) for support in set(SUPPORTS)}
+    faults = chaos_injector(profile)
+    retry = RetryPolicy(
+        max_attempts=3,
+        base_delay_seconds=0.001,
+        max_delay_seconds=0.01,
+        jitter_fraction=0.25,
+    )
+
+    warehouse = PatternWarehouse(directory=tmp_path, fault_injector=faults)
+
+    def factory(jobs, shard_feedstock, on_shard_result):
+        from repro.parallel import ParallelEngine
+
+        return ParallelEngine(
+            jobs,
+            executor="inline",
+            timeout_seconds=0.05 if profile == "slow" else None,
+            shard_feedstock=shard_feedstock,
+            on_shard_result=on_shard_result,
+            retry_policy=retry,
+            fault_injector=faults,
+        )
+
+    with MiningService(
+        warehouse=warehouse,
+        parallel_engine_factory=factory,
+        resilience=ResilienceConfig(retry=retry, faults=faults),
+    ) as service:
+        for support in SUPPORTS:
+            response = service.execute(
+                MineRequest(db=db, support=support, jobs=2)
+            )
+            # The one non-negotiable: a returned answer is the exact
+            # fault-free answer, whatever path produced it.
+            assert response.patterns == expected[support], (
+                f"profile={profile} seed={SEED} support={support} "
+                f"served via {response.path} "
+                f"(degradation: {response.degradation.describe() or 'none'})"
+            )
+        snapshot = service.stats.snapshot()
+        assert snapshot["requests"] == len(SUPPORTS)
+
+
+@pytest.mark.parametrize("profile", ACTIVE_PROFILES)
+def test_chaos_reload_after_corruption_serves_survivors(profile, tmp_path):
+    """A warehouse directory that survived a chaos run (possibly with
+    files corrupted on disk) reloads, quarantining instead of failing."""
+    db = quest_database(
+        QuestParams(n_transactions=80, n_items=25, avg_transaction_length=5),
+        seed=SEED,
+    )
+    fingerprint = db.fingerprint()
+    for support in (12, 8):
+        write_patterns_with_support(
+            mine_hmine(db, support),
+            tmp_path / f"{fingerprint}-{support}.patterns",
+            support,
+        )
+    if profile == "corrupt":
+        bad = tmp_path / f"{fingerprint}-8.patterns"
+        bad.write_text(bad.read_text()[:50])
+    warehouse = PatternWarehouse(directory=tmp_path)
+    healthy = 1 if profile == "corrupt" else 2
+    assert len(warehouse) == healthy
+    hit = warehouse.best_feedstock(fingerprint, 12)
+    assert hit is not None
+    assert hit.patterns == mine_hmine(db, 12)

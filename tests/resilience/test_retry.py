@@ -1,0 +1,129 @@
+"""Unit tests for the retry budget and the circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ResilienceError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError, match="delays"):
+            RetryPolicy(base_delay_seconds=-1)
+        with pytest.raises(ResilienceError, match="jitter_fraction"):
+            RetryPolicy(jitter_fraction=2.0)
+
+    def test_retries_remaining_counts_the_first_try(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.retries_remaining(1) == 2
+        assert policy.retries_remaining(3) == 0
+        assert policy.retries_remaining(5) == 0
+        assert RetryPolicy(max_attempts=1).retries_remaining(1) == 0
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.1, max_delay_seconds=0.5, jitter_fraction=0.0
+        )
+        assert policy.backoff_delay(1) == pytest.approx(0.1)
+        assert policy.backoff_delay(2) == pytest.approx(0.2)
+        assert policy.backoff_delay(3) == pytest.approx(0.4)
+        assert policy.backoff_delay(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_delay(10) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_shrinking_only(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.1, max_delay_seconds=2.0, jitter_fraction=0.25
+        )
+        for failures in (1, 2, 3):
+            for salt in (0, 1, 7):
+                once = policy.backoff_delay(failures, salt=salt)
+                again = policy.backoff_delay(failures, salt=salt)
+                raw = min(2.0, 0.1 * 2 ** (failures - 1))
+                assert once == again  # same (salt, failures) → same delay
+                assert raw * 0.75 <= once <= raw
+
+    def test_salts_spread_delays(self):
+        policy = RetryPolicy(base_delay_seconds=0.1, jitter_fraction=0.25)
+        delays = {policy.backoff_delay(1, salt=s) for s in range(8)}
+        assert len(delays) > 1
+
+    def test_invalid_failures_rejected(self):
+        with pytest.raises(ResilienceError, match="failures"):
+            RetryPolicy().backoff_delay(0)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ResilienceError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ResilienceError, match="cooldown_seconds"):
+            CircuitBreaker(cooldown_seconds=-1)
+
+    def test_opens_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_cooldown_transitions_to_half_open_trial(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=30.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 29.9
+        assert not breaker.allow()
+        clock.now = 30.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # exactly one trial is let through
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=5, cooldown_seconds=10.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+
+    def test_snapshot(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": CLOSED, "trips": 0, "consecutive_failures": 1
+        }

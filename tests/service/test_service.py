@@ -135,7 +135,12 @@ class TestStatsZeroGuards:
         stats = ServiceStats()
         assert stats.latency_quantile(0.5) == 0.0
         assert stats.latency_quantile(0.95) == 0.0
-        assert stats.path_rates() == {"filter": 0.0, "recycle": 0.0, "mine": 0.0}
+        assert stats.path_rates() == {
+            "filter": 0.0,
+            "recycle": 0.0,
+            "mine": 0.0,
+            "degraded": 0.0,
+        }
         snapshot = stats.snapshot()
         assert snapshot["requests"] == 0
         assert snapshot["latency_p50_s"] == 0.0

@@ -28,18 +28,32 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 #: ``repro.parallel`` from ``recycle_mine(jobs=...)`` — is a deliberate,
 #: function-local lazy import and therefore intentionally absent from
 #: core's forbidden list.
+#: ``repro.resilience`` is deliberately the lowest non-trivial layer: it
+#: may import only ``repro.errors`` / ``repro.metrics`` (so the fault
+#: injector, retry machinery and degradation ladder can be threaded
+#: through parallel/core/service without cycles), and conversely the
+#: bottom layers must not grow a dependency on it.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.data": (
         "repro.core",
         "repro.mining",
         "repro.parallel",
+        "repro.resilience",
         "repro.service",
         "repro.storage",
     ),
     "repro.core": ("repro.service",),
-    "repro.mining": ("repro.parallel", "repro.service"),
-    "repro.storage": ("repro.parallel", "repro.service"),
+    "repro.mining": ("repro.parallel", "repro.resilience", "repro.service"),
+    "repro.storage": ("repro.parallel", "repro.resilience", "repro.service"),
     "repro.parallel": ("repro.service",),
+    "repro.resilience": (
+        "repro.core",
+        "repro.data",
+        "repro.mining",
+        "repro.parallel",
+        "repro.service",
+        "repro.storage",
+    ),
 }
 
 
