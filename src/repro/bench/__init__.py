@@ -16,7 +16,14 @@ from repro.bench.experiments import (
 )
 from repro.bench.plotting import chart_from_figure_rows, render_chart
 from repro.bench.report import format_table, render_report
-from repro.bench.runner import MiningRun, run_baseline, run_recycling, speedup, timed
+from repro.bench.runner import (
+    MiningRun,
+    run_baseline,
+    run_condensed,
+    run_recycling,
+    speedup,
+    timed,
+)
 from repro.bench.workloads import Workload, prepare_workload
 
 __all__ = [
@@ -37,6 +44,7 @@ __all__ = [
     "render_chart",
     "render_report",
     "run_baseline",
+    "run_condensed",
     "run_experiment",
     "run_recycling",
     "speedup",

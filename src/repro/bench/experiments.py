@@ -17,7 +17,14 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from repro.bench.runner import MiningRun, run_baseline, run_recycling, speedup, timed
+from repro.bench.runner import (
+    MiningRun,
+    run_baseline,
+    run_condensed,
+    run_recycling,
+    speedup,
+    timed,
+)
 from repro.bench.workloads import prepare_workload
 from repro.core.naive import mine_rp
 from repro.core.utility import STRATEGIES
@@ -450,7 +457,9 @@ def miner_sweep(dataset: str, seed: int = 0) -> tuple[list[str], list[list[objec
     for spec in iter_miners():
         if spec.name == "bruteforce" and max_len > 20:
             continue
-        if spec.needs_compressed:
+        if spec.kind == "condensed":
+            run = run_condensed(spec.name, workload.db, absolute)
+        elif spec.needs_compressed:
             run = run_recycling(spec.name, workload.compressions["mcp"].compressed,
                                 absolute, "mcp")
         else:
@@ -592,6 +601,125 @@ def service_benchmark(
                     ]
                 )
     rows.append(["TOTAL", "-", "-", "-", "-", total_warm, total_cold, "-"])
+    return headers, rows
+
+
+#: Byte budget the warehouse bench charges every representation against.
+#: Sized so a dense dataset's condensed entries all fit while its
+#: full-set entries are too large to bank — the regime where the
+#: condensed warehouse earns its warm-path hit rate.
+DEFAULT_WAREHOUSE_BUDGET = 8 * 1024
+
+
+def warehouse_rows(
+    dataset: str,
+    seed: int = 0,
+    tenants: int = 3,
+    byte_budget: int = DEFAULT_WAREHOUSE_BUDGET,
+    representations: Sequence[str] | None = None,
+) -> list[dict[str, object]]:
+    """Warehouse footprint and warm-path hit rate per representation.
+
+    Replays the same interleaved multi-tenant sweep as
+    :func:`service_benchmark` once per pattern representation, every run
+    against an identically budgeted warehouse. Every response is checked
+    bit-identical to a cold from-scratch mine before it counts. A request
+    is a *warm hit* when the warehouse served it (the ``filter`` or
+    ``recycle`` path); ``mine`` means the platform paid full price. The
+    row also carries the warehouse's closing footprint — entries, stored
+    bytes, bytes per entry, and the condensation ratio (what the same
+    entries would cost as full sets, over what they actually cost) — so
+    the before/after of condensation is read straight off the ``full``
+    row versus the ``closed``/``ndi`` rows.
+    """
+    from repro.data.patterns import REPRESENTATIONS
+    from repro.service import MineRequest, MiningService, PatternWarehouse
+
+    workload = prepare_workload(dataset, seed)
+    db = workload.db
+    supports = sorted(workload.spec.xi_new_sweep, reverse=True)
+    cold_runs = {
+        workload.absolute_support(rel): run_baseline(
+            "hmine", db, workload.absolute_support(rel)
+        )
+        for rel in supports
+    }
+    rows: list[dict[str, object]] = []
+    for representation in representations or REPRESENTATIONS:
+        warehouse = PatternWarehouse(
+            byte_budget=byte_budget, representation=representation
+        )
+        requests = 0
+        warm_hits = 0
+        total_work = 0
+        with MiningService(warehouse=warehouse, max_workers=1) as service:
+            for relative in supports:
+                absolute = workload.absolute_support(relative)
+                cold = cold_runs[absolute]
+                for tenant_index in range(tenants):
+                    response = service.execute(
+                        MineRequest(
+                            db=db, support=absolute, tenant=f"user-{tenant_index}"
+                        )
+                    )
+                    if response.patterns != cold.patterns:
+                        raise BenchmarkError(
+                            f"warehouse {dataset}/{representation} xi={relative}: "
+                            f"warm result disagreed with cold mining"
+                        )
+                    requests += 1
+                    if response.path in ("filter", "recycle"):
+                        warm_hits += 1
+                    if not response.coalesced:
+                        total_work += response.counters.total_work()
+        stats = warehouse.stats()
+        entries = stats["entries"]
+        rows.append(
+            {
+                "dataset": dataset,
+                "representation": representation,
+                "byte_budget": byte_budget,
+                "requests": requests,
+                "warm_hits": warm_hits,
+                "warm_hit_rate": round(warm_hits / requests, 4) if requests else 0.0,
+                "work": total_work,
+                "entries": entries,
+                "stored_bytes": stats["stored_bytes"],
+                "bytes_per_entry": (
+                    round(stats["stored_bytes"] / entries, 1) if entries else 0.0
+                ),
+                "full_bytes": stats["full_bytes"],
+                "condensation_ratio": round(warehouse.condensation_ratio(), 2),
+                "evictions": stats["evictions"],
+                "rejections": stats["rejections"],
+            }
+        )
+    return rows
+
+
+def warehouse_benchmark(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """CLI-report wrapper around :func:`warehouse_rows`."""
+    headers = [
+        "repr", "warm_hits", "requests", "hit_rate", "work",
+        "entries", "stored_B", "B_per_entry", "ratio", "rejections",
+    ]
+    rows = [
+        [
+            row["representation"],
+            row["warm_hits"],
+            row["requests"],
+            row["warm_hit_rate"],
+            row["work"],
+            row["entries"],
+            row["stored_bytes"],
+            row["bytes_per_entry"],
+            row["condensation_ratio"],
+            row["rejections"],
+        ]
+        for row in warehouse_rows(dataset, seed)
+    ]
     return headers, rows
 
 
@@ -741,6 +869,8 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         return miner_sweep(name.split("-", 1)[1], seed)
     if name.startswith("service-"):
         return service_benchmark(name.split("-", 1)[1], seed)
+    if name.startswith("warehouse-"):
+        return warehouse_benchmark(name.split("-", 1)[1], seed)
     if name.startswith("grouped-"):
         return grouped_kernel_benchmark(name.split("-", 1)[1], seed)
     if name.startswith("parallel-"):
@@ -749,5 +879,5 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
         "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
         "two-step-<dataset>, miners-<dataset>, service-<dataset>, "
-        "grouped-<dataset>, parallel-<dataset>"
+        "warehouse-<dataset>, grouped-<dataset>, parallel-<dataset>"
     )

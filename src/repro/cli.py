@@ -1,5 +1,5 @@
 """Command-line interface: ``repro mine | recycle | compress | bench | miners |
-serve-batch``.
+serve-batch | warehouse``.
 
 Examples::
 
@@ -11,6 +11,7 @@ Examples::
     repro bench --experiment table3
     repro miners --kind baseline
     repro serve-batch --workload traffic.json --workers 8 --byte-budget 1000000
+    repro warehouse --dir ./wh --verify
 """
 
 from __future__ import annotations
@@ -180,7 +181,9 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         None
         if args.cold
         else PatternWarehouse(
-            byte_budget=args.byte_budget, directory=args.warehouse_dir
+            byte_budget=args.byte_budget,
+            directory=args.warehouse_dir,
+            representation=args.representation,
         )
     )
     started = time.perf_counter()
@@ -236,6 +239,19 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             f"(budget {wh['byte_budget'] or 'unbounded'}), "
             f"{wh['evictions']} evictions, {wh['rejections']} rejections"
         )
+        if warehouse.representation != "full":
+            print(
+                f"warehouse: {warehouse.representation} entries serve "
+                f"{wh['full_bytes']} full-set bytes from "
+                f"{wh['stored_bytes']} stored "
+                f"(condensation ×{warehouse.condensation_ratio():.1f})"
+            )
+        if wh["migrated"]:
+            print(
+                f"warehouse: {wh['migrated']} entr"
+                f"{'y' if wh['migrated'] == 1 else 'ies'} migrated to "
+                f"{warehouse.representation} at load"
+            )
         if wh["quarantined"]:
             print(
                 f"warehouse: {wh['quarantined']} corrupt pattern file(s) "
@@ -247,6 +263,65 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 f"({warehouse.memory_only_reason})"
             )
     return 0
+
+
+def _command_warehouse(args: argparse.Namespace) -> int:
+    """Inspect (and optionally audit) a disk-backed pattern warehouse."""
+    from repro.service import PatternWarehouse
+
+    # Inspection must not rewrite files behind the user's back, so the
+    # load-time migration that a serving warehouse performs is disabled;
+    # the representation knob only matters for writes, which this
+    # command never does.
+    warehouse = PatternWarehouse(
+        directory=args.dir, migrate_on_load=False
+    )
+    rows_data = warehouse.describe_entries()
+    headers = [
+        "fingerprint", "support", "repr", "entries",
+        "expanded", "stored-bytes", "full-bytes", "ratio",
+    ]
+    rows: list[list[object]] = [
+        [
+            row["fingerprint"],
+            row["absolute_support"],
+            row["representation"],
+            row["entries"],
+            row["expanded"] if row["expanded"] is not None else "-",
+            row["stored_bytes"],
+            row["full_bytes"] if row["full_bytes"] is not None else "-",
+            f"{row['condensation_ratio']:.1f}",
+        ]
+        for row in rows_data
+    ]
+    print(render_report(f"warehouse: {args.dir}", headers, rows))
+    stats = warehouse.stats()
+    print(
+        f"{stats['entries']} entries, {stats['stored_bytes']} stored bytes "
+        f"serving {stats['full_bytes']} full-set bytes "
+        f"(condensation ×{warehouse.condensation_ratio():.1f})"
+    )
+    if stats["quarantined"]:
+        print(f"{stats['quarantined']} corrupt pattern file(s) quarantined at load")
+    if not args.verify:
+        return 0
+    failures = 0
+    for fingerprint, support in warehouse.keys():
+        report = warehouse.verify_entry(fingerprint, support)
+        if report.ok:
+            print(
+                f"verify {fingerprint}@{support} [{report.representation}]: "
+                f"ok ({report.checks} checks)"
+            )
+        else:
+            failures += 1
+            print(
+                f"verify {fingerprint}@{support} [{report.representation}]: "
+                f"FAILED ({len(report.violations)} violation(s))"
+            )
+            for violation in report.violations:
+                print(f"  - {violation}")
+    return 1 if failures else 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -326,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="table3, fig9..fig24, observations, "
                             "ablation-strategies-<ds>, ablation-shortcut-<ds>, "
                             "two-step-<ds>, miners-<ds>, service-<ds>, "
-                            "grouped-<ds>")
+                            "warehouse-<ds>, grouped-<ds>")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_command_bench)
 
@@ -348,7 +423,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(workload entries may override)")
     serve.add_argument("--cold", action="store_true",
                        help="disable the warehouse (every request mines)")
+    serve.add_argument("--representation", default="closed",
+                       choices=("full", "closed", "ndi"),
+                       help="how the warehouse condenses stored entries "
+                            "(default: closed)")
     serve.set_defaults(handler=_command_serve_batch)
+
+    warehouse = commands.add_parser(
+        "warehouse",
+        help="inspect a disk-backed pattern warehouse (entries, "
+             "representations, condensation; --verify audits integrity)",
+    )
+    warehouse.add_argument("--dir", required=True,
+                           help="the warehouse directory to inspect")
+    warehouse.add_argument("--verify", action="store_true",
+                           help="run verify_entry() integrity audits on "
+                                "every entry (exit 1 on any violation)")
+    warehouse.set_defaults(handler=_command_warehouse)
 
     miners = commands.add_parser(
         "miners", help="list the miner registry and its capabilities"

@@ -41,12 +41,8 @@ from repro.core.utility import (
     mlp_utility,
 )
 
-#: name -> (module, attribute) for the lazily exposed Phase 2 miners and
-#: the deprecated compatibility shims (which warn on use).
+#: name -> (module, attribute) for the lazily exposed Phase 2 miners.
 _LAZY_EXPORTS = {
-    "CGroup": ("repro.core.naive", "CGroup"),
-    "compressed_to_cgroups": ("repro.core.naive", "compressed_to_cgroups"),
-    "database_to_cgroups": ("repro.core.naive", "database_to_cgroups"),
     "mine_rp": ("repro.core.naive", "mine_rp"),
     "mine_recycle_eclat": ("repro.core.recycle_eclat", "mine_recycle_eclat"),
     "mine_recycle_fptree": ("repro.core.recycle_fptree", "mine_recycle_fptree"),
@@ -76,7 +72,6 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "ARRIVAL",
-    "CGroup",
     "CompressedDatabase",
     "CompressionResult",
     "CompressionStrategy",
@@ -94,8 +89,6 @@ __all__ = [
     "apply_insertions",
     "can_filter",
     "compress",
-    "compressed_to_cgroups",
-    "database_to_cgroups",
     "filter_min_support",
     "filter_tightened",
     "fup_update",

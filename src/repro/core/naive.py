@@ -6,10 +6,10 @@ kernel: the unified :class:`~repro.core.groups.Group` replaces
 ``CGroup`` and the counting/normalization/projection/Lemma 3.1 machinery
 sits in :mod:`repro.storage.projection`, where every recycling miner
 shares it. This module keeps the classic :func:`mine_rp` entry point (a
-thin veneer over :func:`~repro.storage.projection.mine_grouped`), the
-kernel re-exports its tests and callers always imported from here, and
-``DeprecationWarning`` shims for the retired names (``CGroup``,
-``compressed_to_cgroups``, ``database_to_cgroups``).
+thin veneer over :func:`~repro.storage.projection.mine_grouped`) and the
+kernel re-exports its tests and callers always imported from here. The
+deprecated ``CGroup``/``compressed_to_cgroups``/``database_to_cgroups``
+shims that once bridged the rename are gone.
 
 The two group exploits of Section 3.1 — counting a group's pattern items
 once with the group count, and moving whole groups during projection —
@@ -19,10 +19,9 @@ itself.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING
 
-from repro.core.groups import Group, GroupedDatabase, to_grouped
+from repro.core.groups import Group, GroupedDatabase
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 
@@ -67,39 +66,3 @@ def mine_rp(
         single_group_shortcut=single_group_shortcut,
         backend=backend,
     )
-
-
-def compressed_to_cgroups(compressed: GroupedDatabase) -> list[Group]:
-    """Deprecated: use ``to_grouped(compressed).mining_groups()``."""
-    warnings.warn(
-        "compressed_to_cgroups is deprecated; use "
-        "repro.core.groups.to_grouped(...).mining_groups()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return list(to_grouped(compressed).mining_groups())
-
-
-def database_to_cgroups(db: "TransactionDatabase") -> list[Group]:
-    """Deprecated: use ``GroupedDatabase.from_database(db).mining_groups()``."""
-    warnings.warn(
-        "database_to_cgroups is deprecated; use "
-        "repro.core.groups.GroupedDatabase.from_database(...).mining_groups()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return list(GroupedDatabase.from_database(db).mining_groups())
-
-
-def __getattr__(name: str) -> object:
-    if name == "CGroup":
-        # Accessing the name itself warns once per call site; the object
-        # returned IS the unified Group, so isinstance checks keep working.
-        warnings.warn(
-            "repro.core.naive.CGroup is deprecated; "
-            "use repro.core.groups.Group",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return Group
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.data.patterns import CondensedPatternSet
 from repro.data.transactions import TransactionDatabase
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
@@ -45,20 +46,24 @@ class MiningPlan:
     """A chosen path plus the feedstock it consumes (if any)."""
 
     path: str  # PATH_FILTER | PATH_RECYCLE | PATH_MINE
-    feedstock: PatternSet | None = None
+    feedstock: "PatternSet | CondensedPatternSet | None" = None
     feedstock_support: int | None = None
 
 
 def plan_support_path(
     new_support: int,
-    feedstock: PatternSet | None,
+    feedstock: "PatternSet | CondensedPatternSet | None",
     feedstock_support: int | None,
 ) -> MiningPlan:
     """Pick the cheapest sound path to the patterns at ``new_support``.
 
-    ``feedstock`` must be the *full* (unconstrained) frequent-pattern set
-    at ``feedstock_support`` — the invariant both the session cache and
-    the pattern warehouse maintain.
+    ``feedstock`` must represent the *full* (unconstrained)
+    frequent-pattern set at ``feedstock_support`` — the invariant both
+    the session cache and the pattern warehouse maintain. It may be a
+    condensed warehouse entry; condensation is lossless, so the case
+    analysis is unchanged (a condensed entry is empty exactly when the
+    full set is: maximal patterns are closed, and frequent singletons
+    are non-derivable).
     """
     if feedstock is None or feedstock_support is None:
         return MiningPlan(PATH_MINE)
@@ -99,6 +104,11 @@ def execute_plan(
     """
     if plan.path == PATH_FILTER:
         assert plan.feedstock is not None
+        if isinstance(plan.feedstock, CondensedPatternSet):
+            # Closedness/derivability are threshold-independent, so the
+            # support filter runs over the condensed entries; only the
+            # (smaller) surviving representation is ever expanded.
+            return plan.feedstock.filter_min_support(new_support).expand()
         return plan.feedstock.filter_min_support(new_support)
     if plan.path == PATH_RECYCLE:
         from repro.core.recycle import recycle_mine_detailed

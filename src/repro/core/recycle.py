@@ -18,6 +18,7 @@ from typing import Callable
 from repro.core.compression import CompressionResult, compress
 from repro.core.groups import GroupedDatabase
 from repro.core.utility import CompressionStrategy
+from repro.data.patterns import CondensedPatternSet
 from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError, RecycleError
 from repro.metrics.counters import CostCounters
@@ -102,7 +103,7 @@ def recycle_mine(
 
 def recycle_mine_detailed(
     db: TransactionDatabase,
-    old_patterns: PatternSet,
+    old_patterns: "PatternSet | CondensedPatternSet",
     min_support: int,
     algorithm: str = "hmine",
     strategy: CompressionStrategy | str = "mcp",
@@ -111,8 +112,17 @@ def recycle_mine_detailed(
     jobs: int = 1,
     resilience: ResilienceConfig | None = None,
 ) -> RecycleOutcome:
-    """Like :func:`recycle_mine` but also returns compression statistics."""
+    """Like :func:`recycle_mine` but also returns compression statistics.
+
+    ``old_patterns`` may be a condensed warehouse entry: Phase 1 only
+    requires that its feedstock be genuine frequent patterns with exact
+    supports, which the condensed *entries* already are — so they feed
+    the compressor directly, without expanding the full set. (Phase 2
+    re-counts exactly; the feedstock subset never changes the answer.)
+    """
     spec = get_miner_spec(algorithm)
+    if isinstance(old_patterns, CondensedPatternSet):
+        old_patterns = old_patterns.entry_patterns()
     if len(old_patterns) == 0:
         raise RecycleError(
             "no patterns to recycle — mine with a baseline algorithm instead"

@@ -34,6 +34,7 @@ from repro.core.planner import (
     resolve_recycling_algorithm,
 )
 from repro.data.items import ItemTable
+from repro.data.patterns import REPRESENTATIONS, CondensedPatternSet
 from repro.data.transactions import TransactionDatabase
 from repro.errors import DataError, RecycleError
 from repro.metrics.counters import CostCounters
@@ -58,6 +59,13 @@ class IterationReport:
     elapsed_seconds: float
     counters: CostCounters
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    #: How the session caches its recycling feedstock ("full", "closed"
+    #: or "ndi"), the stored-entry count of that cache, and how many
+    #: times smaller it is than the full frequent set it reconstructs
+    #: (1.0 for the full representation).
+    representation: str = "full"
+    feedstock_entries: int = 0
+    condensation_ratio: float = 1.0
 
 
 class MiningSession:
@@ -90,6 +98,13 @@ class MiningSession:
         Retry budget, fault injector and circuit breaker threaded into
         the sharded engine when ``jobs > 1``; any degradation is
         recorded on each :class:`IterationReport`.
+    representation:
+        How the cached recycling feedstock is held between iterations:
+        ``"full"`` (the frequent set verbatim, the historical behavior),
+        ``"closed"`` (closed itemsets) or ``"ndi"`` (non-derivable
+        itemsets). Condensed caches are lossless — every path replays
+        bit-identically — and shrink both the in-memory footprint and
+        the files :meth:`save_patterns` writes.
     """
 
     def __init__(
@@ -101,12 +116,19 @@ class MiningSession:
         backend: str = "bitset",
         jobs: int = 1,
         resilience: ResilienceConfig | None = None,
+        representation: str = "full",
     ) -> None:
         if algorithm != "naive" and not has_miner(algorithm, kind="baseline"):
             known = ", ".join(miner_names("baseline"))
             raise RecycleError(f"unknown algorithm {algorithm!r} (known: {known}, naive)")
         if jobs < 1:
             raise RecycleError(f"jobs must be >= 1, got {jobs}")
+        if representation not in REPRESENTATIONS:
+            raise RecycleError(
+                f"unknown representation {representation!r}; "
+                f"expected one of {REPRESENTATIONS}"
+            )
+        self.representation = representation
         self.db = db
         self.algorithm = algorithm
         self.strategy = strategy
@@ -118,9 +140,12 @@ class MiningSession:
         )
         self.history: list[IterationReport] = []
         self._constraints: ConstraintSet | None = None
-        # The full frequent-pattern set at the current support threshold,
-        # before non-support constraints — the recycling feedstock.
-        self._support_patterns: PatternSet | None = None
+        # The frequent-pattern set at the current support threshold,
+        # before non-support constraints — the recycling feedstock. Held
+        # condensed (closed/NDI) when the session's representation says
+        # so; every consumer (planner, compression, export) understands
+        # both forms.
+        self._support_patterns: PatternSet | CondensedPatternSet | None = None
         self._absolute_support: int | None = None
 
     # ------------------------------------------------------------------
@@ -163,11 +188,18 @@ class MiningSession:
         )
 
         result = constraints.filter_patterns(support_patterns, self.context)
+        feedstock = self._condense(support_patterns, new_support)
         elapsed = time.perf_counter() - started
 
         self._constraints = constraints
-        self._support_patterns = support_patterns
+        self._support_patterns = feedstock
         self._absolute_support = new_support
+        if isinstance(feedstock, CondensedPatternSet):
+            feedstock_entries = len(feedstock)
+            condensation_ratio = feedstock.condensation_ratio()
+        else:
+            feedstock_entries = len(feedstock)
+            condensation_ratio = 1.0
         self.history.append(
             IterationReport(
                 index=len(self.history),
@@ -178,25 +210,68 @@ class MiningSession:
                 elapsed_seconds=elapsed,
                 counters=counters,
                 degradation=degradation,
+                representation=self.representation,
+                feedstock_entries=feedstock_entries,
+                condensation_ratio=condensation_ratio,
             )
         )
         return result
 
-    def seed_patterns(self, patterns: PatternSet, absolute_support: int) -> None:
+    def _condense(
+        self, support_patterns: PatternSet | CondensedPatternSet, new_support: int
+    ) -> PatternSet | CondensedPatternSet:
+        """Cache-form of the feedstock under the session representation."""
+        if self.representation == "full":
+            if isinstance(support_patterns, CondensedPatternSet):
+                return support_patterns.expand()
+            return support_patterns
+        if (
+            isinstance(support_patterns, CondensedPatternSet)
+            and support_patterns.representation == self.representation
+        ):
+            return support_patterns
+        if isinstance(support_patterns, CondensedPatternSet):
+            support_patterns = support_patterns.expand()
+        return CondensedPatternSet.condense(
+            support_patterns,
+            new_support,
+            self.representation,
+            n_transactions=len(self.db),
+        )
+
+    def seed_patterns(
+        self,
+        patterns: PatternSet | CondensedPatternSet,
+        absolute_support: int,
+    ) -> None:
         """Adopt another session's (or user's) pattern set for recycling.
 
         ``absolute_support`` is the threshold those patterns were mined
         at; the next :meth:`mine` call will filter or recycle from them
-        instead of mining from scratch.
+        instead of mining from scratch. Condensed sets are adopted as-is
+        (a closed/NDI warehouse entry is valid feedstock directly).
         """
         if len(patterns) == 0:
             raise RecycleError("cannot seed an empty pattern set")
-        self._support_patterns = patterns
+        self._support_patterns = self._condense(patterns, absolute_support)
         self._absolute_support = absolute_support
         self._constraints = ConstraintSet.min_support(absolute_support)
 
     def exported_patterns(self) -> PatternSet:
-        """The cached support-level pattern set (for another user/session)."""
+        """The cached support-level pattern set (for another user/session).
+
+        Always the *full* frequent set — condensed caches are expanded
+        on the way out, so consumers never need to know the session's
+        representation. Use :meth:`exported_feedstock` for the raw form.
+        """
+        if self._support_patterns is None:
+            raise RecycleError("nothing mined yet — nothing to export")
+        if isinstance(self._support_patterns, CondensedPatternSet):
+            return self._support_patterns.expand()
+        return self._support_patterns
+
+    def exported_feedstock(self) -> PatternSet | CondensedPatternSet:
+        """The cached feedstock in its stored form (condensed or full)."""
         if self._support_patterns is None:
             raise RecycleError("nothing mined yet — nothing to export")
         return self._support_patterns
@@ -214,27 +289,41 @@ class MiningSession:
     def save_patterns(self, path: str) -> None:
         """Persist the recycling feedstock to disk.
 
-        The file is the plain pattern format of :mod:`repro.data.io`
-        with a header comment recording the absolute support, so any
-        session (or any other tool) can pick it up. The write is atomic:
-        the file is assembled in a sibling temp file and moved into place
-        with :func:`os.replace`, so a concurrent reader (or a crash) never
-        observes a half-written or header-less file.
+        The file is the warehouse-entry pattern format of
+        :mod:`repro.data.io`: header comments record the absolute
+        support and the representation (plus transaction count / rule
+        depth for condensed forms), so any session — whatever its own
+        representation — and any other tool can pick it up. The write is
+        atomic: the file is assembled in a sibling temp file and moved
+        into place with :func:`os.replace`, so a concurrent reader (or a
+        crash) never observes a half-written or header-less file.
         """
-        from repro.data.io import write_patterns_with_support
+        from repro.data.io import write_warehouse_entry
 
-        patterns = self.exported_patterns()
-        write_patterns_with_support(patterns, path, self._absolute_support or 0)
+        feedstock = self.exported_feedstock()
+        if not isinstance(feedstock, CondensedPatternSet):
+            feedstock = CondensedPatternSet.condense(
+                feedstock,
+                self._absolute_support or 0,
+                "full",
+                n_transactions=len(self.db),
+            )
+        write_warehouse_entry(feedstock, path)
 
     def load_patterns(self, path: str) -> None:
-        """Seed this session from a file written by :meth:`save_patterns`."""
-        from repro.data.io import read_patterns_with_support
+        """Seed this session from a file written by :meth:`save_patterns`.
+
+        Reads both the current warehouse-entry format (any
+        representation) and pre-condensation full-set files, with or
+        without their integrity checksum.
+        """
+        from repro.data.io import read_warehouse_entry
 
         try:
-            patterns, absolute_support = read_patterns_with_support(path)
+            condensed, _full_bytes = read_warehouse_entry(path)
         except DataError as exc:
             raise RecycleError(str(exc)) from None
-        self.seed_patterns(patterns, absolute_support)
+        self.seed_patterns(condensed, condensed.absolute_support)
 
     # ------------------------------------------------------------------
     # internals

@@ -17,6 +17,15 @@ from repro.data.io import (
     write_transactions,
 )
 from repro.data.items import Item, ItemTable
+from repro.data.patterns import (
+    NDI_RULE_DEPTH,
+    REPRESENTATIONS,
+    CondensedPatternSet,
+    Pattern,
+    PatternSet,
+    derivability_bounds,
+    pattern,
+)
 from repro.data.synthetic import (
     QuestParams,
     attribute_value_database,
@@ -27,15 +36,22 @@ from repro.data.transactions import TransactionDatabase
 
 __all__ = [
     "DATASETS",
+    "CondensedPatternSet",
     "DatasetSpec",
     "EncodedDatabase",
     "Item",
     "ItemTable",
+    "NDI_RULE_DEPTH",
+    "Pattern",
+    "PatternSet",
     "QuestParams",
+    "REPRESENTATIONS",
     "TransactionDatabase",
     "attribute_value_database",
     "bit_positions",
     "connect4_like",
+    "derivability_bounds",
+    "pattern",
     "forest_like",
     "get_dataset",
     "pumsb_like",

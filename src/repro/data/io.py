@@ -22,8 +22,13 @@ from pathlib import Path
 from typing import TextIO
 
 from repro.data.transactions import TransactionDatabase
-from repro.errors import DataError
-from repro.data.patterns import PatternSet
+from repro.errors import DataError, MiningError
+from repro.data.patterns import (
+    NDI_RULE_DEPTH,
+    REPRESENTATIONS,
+    CondensedPatternSet,
+    PatternSet,
+)
 
 
 def read_transactions(path: str | Path) -> TransactionDatabase:
@@ -132,6 +137,24 @@ SUPPORT_HEADER_PREFIX = "# absolute_support="
 #: other tools) simply omit it and are read without verification.
 CHECKSUM_HEADER_PREFIX = "# sha256="
 
+#: Header recording which representation the body's rows are: ``full``
+#: (every frequent pattern), ``closed`` or ``ndi`` (condensed entries
+#: only). Absent on files predating condensation, which are read as
+#: ``full`` — the original format unchanged.
+REPR_HEADER_PREFIX = "# repr="
+
+#: Transaction count of the mined database; required by ``repr=ndi``
+#: (the empty-set deduction rules use ``supp({}) = |D|``).
+NTRANS_HEADER_PREFIX = "# n_transactions="
+
+#: Deduction-rule depth an ``ndi`` body was condensed with. Expansion
+#: must replay the same depth, so it travels in the file.
+NDI_DEPTH_HEADER_PREFIX = "# ndi_depth="
+
+#: Byte-model size of the *expanded* set at write time — a gauge header
+#: so warehouses can report condensation ratios without expanding.
+FULL_BYTES_HEADER_PREFIX = "# full_bytes="
+
 
 def _pattern_body(patterns: PatternSet) -> str:
     """The canonical pattern lines as one string — what gets checksummed."""
@@ -176,13 +199,61 @@ def write_patterns_with_support(
         raise
 
 
-def read_patterns_with_support(path: str | Path) -> tuple[PatternSet, int]:
-    """Load a pattern set written by :func:`write_patterns_with_support`.
+def write_warehouse_entry(
+    condensed: CondensedPatternSet,
+    path: str | Path,
+    *,
+    full_bytes: int | None = None,
+) -> None:
+    """Atomically persist a (possibly condensed) warehouse entry.
 
-    The support header is required; the checksum header is verified when
-    present and skipped when absent, so pre-checksum files stay
-    readable. A checksum mismatch (bit rot, truncation, tampering)
-    raises :class:`~repro.errors.DataError` — the warehouse turns that
+    Extends :func:`write_patterns_with_support` with the representation
+    headers: ``# repr=`` names how to read the body's rows, ``ndi``
+    entries carry ``# n_transactions=`` and ``# ndi_depth=`` (both
+    needed to replay the deduction rules losslessly), and an optional
+    ``# full_bytes=`` gauge records the expanded set's byte-model size.
+    Metadata headers sit *between* the support header and the checksum,
+    so the checksum still covers exactly the body rows.
+    """
+    path = Path(path)
+    body = _pattern_body(condensed.entry_patterns())
+    headers = [
+        f"{SUPPORT_HEADER_PREFIX}{condensed.absolute_support}",
+        f"{REPR_HEADER_PREFIX}{condensed.representation}",
+    ]
+    if condensed.n_transactions is not None:
+        headers.append(f"{NTRANS_HEADER_PREFIX}{condensed.n_transactions}")
+    if condensed.representation == "ndi":
+        headers.append(f"{NDI_DEPTH_HEADER_PREFIX}{condensed.ndi_depth}")
+    if full_bytes is not None:
+        headers.append(f"{FULL_BYTES_HEADER_PREFIX}{full_bytes}")
+    headers.append(f"{CHECKSUM_HEADER_PREFIX}{pattern_body_checksum(body)}")
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for line in headers:
+                handle.write(f"{line}\n")
+            handle.write(body)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_warehouse_entry(
+    path: str | Path,
+) -> tuple[CondensedPatternSet, int | None]:
+    """Load a warehouse entry without expanding it.
+
+    Returns ``(condensed, full_bytes)`` where ``full_bytes`` is the
+    gauge header when present. Files predating condensation — with or
+    without the checksum header — parse as ``repr=full``, so every
+    pre-existing ``.patterns`` file remains readable. Any malformed or
+    inconsistent header, checksum mismatch, or entry below the threshold
+    raises :class:`~repro.errors.DataError`; the warehouse turns that
     into quarantine instead of serving corrupt feedstock.
     """
     path = Path(path)
@@ -200,14 +271,94 @@ def read_patterns_with_support(path: str | Path) -> tuple[PatternSet, int]:
         absolute_support = int(lines[0][len(SUPPORT_HEADER_PREFIX):])
     except ValueError as exc:
         raise DataError(f"{path}: malformed absolute_support header") from exc
+
+    representation = "full"
+    n_transactions: int | None = None
+    ndi_depth = NDI_RULE_DEPTH
+    full_bytes: int | None = None
+    checksum: str | None = None
+    metadata_seen = False
     body_start = 1
-    if len(lines) > 1 and lines[1].startswith(CHECKSUM_HEADER_PREFIX):
-        body_start = 2
-        expected = lines[1][len(CHECKSUM_HEADER_PREFIX):].strip()
-        actual = pattern_body_checksum("".join(lines[2:]))
-        if actual != expected:
+
+    def int_header(line: str, prefix: str) -> int:
+        try:
+            return int(line[len(prefix):])
+        except ValueError as exc:
+            raise DataError(f"{path}: malformed {prefix.strip('# =')} header") from exc
+
+    for index in range(1, len(lines)):
+        line = lines[index].rstrip("\n")
+        if line.startswith(REPR_HEADER_PREFIX):
+            representation = line[len(REPR_HEADER_PREFIX):].strip()
+            metadata_seen = True
+        elif line.startswith(NTRANS_HEADER_PREFIX):
+            n_transactions = int_header(line, NTRANS_HEADER_PREFIX)
+            metadata_seen = True
+        elif line.startswith(NDI_DEPTH_HEADER_PREFIX):
+            ndi_depth = int_header(line, NDI_DEPTH_HEADER_PREFIX)
+            metadata_seen = True
+        elif line.startswith(FULL_BYTES_HEADER_PREFIX):
+            full_bytes = int_header(line, FULL_BYTES_HEADER_PREFIX)
+            metadata_seen = True
+        elif line.startswith(CHECKSUM_HEADER_PREFIX):
+            checksum = line[len(CHECKSUM_HEADER_PREFIX):].strip()
+            body_start = index + 1
+            break
+        else:
+            body_start = index
+            break
+    else:
+        body_start = len(lines)
+
+    if metadata_seen and checksum is None:
+        # The condensed writer always closes the header block with the
+        # checksum; metadata without it means the file was truncated in
+        # the header region (where a body checksum cannot catch it).
+        raise DataError(
+            f"{path}: representation headers present but no checksum — "
+            "the file is corrupt or truncated"
+        )
+    body = "".join(lines[body_start:])
+    if checksum is not None:
+        actual = pattern_body_checksum(body)
+        if actual != checksum:
             raise DataError(
-                f"{path}: body checksum mismatch (expected {expected}, got "
+                f"{path}: body checksum mismatch (expected {checksum}, got "
                 f"{actual}) — the file is corrupt or truncated"
             )
-    return parse_patterns(io.StringIO("".join(lines[body_start:]))), absolute_support
+    if representation not in REPRESENTATIONS:
+        raise DataError(
+            f"{path}: unknown representation {representation!r} in repr header"
+        )
+    entries = parse_patterns(io.StringIO(body))
+    for items, support in entries.items():
+        if support < absolute_support:
+            raise DataError(
+                f"{path}: entry {sorted(items)} has support {support} below "
+                f"the header threshold {absolute_support}"
+            )
+    try:
+        condensed = CondensedPatternSet(
+            representation,
+            entries.as_dict(),
+            absolute_support,
+            n_transactions=n_transactions,
+            ndi_depth=ndi_depth,
+        )
+    except MiningError as exc:
+        raise DataError(f"{path}: invalid condensed entry: {exc}") from exc
+    return condensed, full_bytes
+
+
+def read_patterns_with_support(path: str | Path) -> tuple[PatternSet, int]:
+    """Load a pattern file as the *exact frequent set* plus its threshold.
+
+    Built on :func:`read_warehouse_entry`: condensed bodies are expanded
+    before being returned, so legacy callers (sessions seeding from a
+    saved file, scripts diffing pattern sets) always see the full set no
+    matter which representation the file used. The support header is
+    required; the checksum header is verified when present and skipped
+    when absent, so pre-checksum files stay readable.
+    """
+    condensed, _ = read_warehouse_entry(path)
+    return condensed.expand(), condensed.absolute_support

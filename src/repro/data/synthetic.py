@@ -121,6 +121,7 @@ def attribute_value_database(
     class_coherence: float = 0.5,
     missing_rate: float = 0.0,
     seed: int = 0,
+    implications: Sequence[tuple[int, int]] = (),
 ) -> TransactionDatabase:
     """Generate relational attribute-value transactions.
 
@@ -134,6 +135,16 @@ def attribute_value_database(
     the attribute's value distribution, so coherence correlates attributes
     *on top of* the marginal skew — the combination that yields the long
     frequent patterns characteristic of the paper's dense datasets.
+
+    ``implications`` lists deterministic ``(source, derived)`` attribute
+    rules: whenever ``source`` takes its dominant value 0, ``derived`` is
+    forced to 0 as well (no random draw). This is how real relational
+    data acquires *exact* support ties — Connect-4's board physics make
+    "square blank" force "square above blank" — and exact ties are what
+    closed-pattern condensation feeds on. Probabilistic correlation
+    alone, however strong, almost never produces them. Rules cascade in
+    attribute order, so a chain models a column of a board. The empty
+    tuple (default) leaves the generator's stream untouched.
     """
     if not domain_sizes:
         raise DataError("domain_sizes must be non-empty")
@@ -141,6 +152,19 @@ def attribute_value_database(
         raise DataError(f"domain sizes must be >= 1: {domain_sizes}")
     if not 0.0 <= class_coherence <= 1.0:
         raise DataError(f"class_coherence must be in [0, 1]: {class_coherence}")
+    n_attributes = len(domain_sizes)
+    for source, derived in implications:
+        if not (0 <= source < n_attributes and 0 <= derived < n_attributes):
+            raise DataError(
+                f"implication ({source}, {derived}) references an unknown "
+                f"attribute (have {n_attributes})"
+            )
+        if source >= derived:
+            raise DataError(
+                f"implication ({source}, {derived}) must point forward so "
+                "rules cascade in attribute order"
+            )
+    forced_by = {derived: source for source, derived in implications}
     if isinstance(value_skew, (int, float)):
         skews = [float(value_skew)] * len(domain_sizes)
     else:
@@ -176,13 +200,18 @@ def attribute_value_database(
     for _ in range(n_transactions):
         klass = rng.choices(range(len(preferred)), weights=class_weights, k=1)[0]
         tx: list[int] = []
+        values: dict[int, int] = {}
         for attr, size in enumerate(domain_sizes):
             if missing_rate and rng.random() < missing_rate:
                 continue
-            if rng.random() < class_coherence:
+            source = forced_by.get(attr)
+            if source is not None and values.get(source) == 0:
+                value = 0  # deterministic rule, no draw
+            elif rng.random() < class_coherence:
                 value = preferred[klass][attr]
             else:
                 value = rng.choices(range(size), weights=per_attribute_weights[attr], k=1)[0]
+            values[attr] = value
             tx.append(offsets[attr] + value)
         if tx:
             transactions.append(tx)

@@ -8,11 +8,15 @@ everything a driver needs to pick a miner:
 ``name``
     CLI-facing identifier, unique per kind.
 ``kind``
-    ``"baseline"`` (mines a :class:`TransactionDatabase` from scratch) or
+    ``"baseline"`` (mines a :class:`TransactionDatabase` from scratch),
     ``"recycling"`` (mines a :class:`CompressedDatabase` — the paper's
-    phase 2).
+    phase 2), or ``"condensed"`` (mines a :class:`TransactionDatabase`
+    directly into a
+    :class:`~repro.data.patterns.CondensedPatternSet` — closed or
+    non-derivable entries, the warehouse's storage representation).
 ``fn``
-    ``fn(source, min_support, counters=None) -> PatternSet``.
+    ``fn(source, min_support, counters=None) -> PatternSet`` (a
+    ``CondensedPatternSet`` for the ``"condensed"`` kind).
 ``needs_compressed``
     Whether ``source`` must be in group representation. When set,
     :meth:`MinerSpec.mine` coerces any legacy source (a
@@ -51,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.counters import CostCounters
     from repro.mining.patterns import PatternSet
 
-KINDS = ("baseline", "recycling")
+KINDS = ("baseline", "recycling", "condensed")
 BACKENDS = ("python", "bitset")
 
 #: Uniform miner signature: (source, min_support, counters) -> PatternSet.
@@ -239,6 +243,12 @@ def _bootstrap() -> None:
     from repro.core.recycle_treeprojection import mine_recycle_treeprojection
     from repro.mining.apriori import mine_apriori
     from repro.mining.bruteforce import mine_bruteforce
+    from repro.mining.condensed import (
+        mine_closed,
+        mine_closed_bitset,
+        mine_ndi,
+        mine_ndi_bitset,
+    )
     from repro.mining.eclat import mine_eclat, mine_eclat_bitset
     from repro.mining.fptree import mine_fpgrowth
     from repro.mining.hmine import mine_hmine
@@ -328,6 +338,32 @@ def _bootstrap() -> None:
             fn=mine_recycle_eclat,
             needs_compressed=True,
             description="Recycle-Eclat: grouped tidsets (our extension)",
+        ),
+        MinerSpec(
+            name="closed",
+            kind="condensed",
+            fn=mine_closed,
+            description="closed itemsets via LCM-style closure extension",
+        ),
+        MinerSpec(
+            name="closed-bitset",
+            kind="condensed",
+            fn=mine_closed_bitset,
+            backend="bitset",
+            description="closed itemsets over encoded-database bitmaps",
+        ),
+        MinerSpec(
+            name="ndi",
+            kind="condensed",
+            fn=mine_ndi,
+            description="non-derivable itemsets (Calders-Goethals rules)",
+        ),
+        MinerSpec(
+            name="ndi-bitset",
+            kind="condensed",
+            fn=mine_ndi_bitset,
+            backend="bitset",
+            description="non-derivable itemsets over encoded bitmaps",
         ),
     ):
         register(spec)

@@ -61,7 +61,7 @@ from repro.core.planner import (
     resolve_recycling_algorithm,
 )
 from repro.data.io import canonical_pattern_rows
-from repro.data.patterns import PatternSet
+from repro.data.patterns import NDI_RULE_DEPTH, CondensedPatternSet, PatternSet
 from repro.data.transactions import TransactionDatabase
 from repro.errors import ParallelError, ReproError
 from repro.metrics.counters import CostCounters
@@ -85,9 +85,12 @@ from repro.resilience import (
 PatternRows = tuple[tuple[tuple[int, ...], int], ...]
 
 #: Optional per-shard feedstock source: (fingerprint, local_support) ->
-#: (patterns, absolute_support) or None. The service wires this to
+#: (patterns, absolute_support) or None, where patterns may be a plain
+#: or condensed set. The service wires this to
 #: ``PatternWarehouse.best_feedstock``.
-ShardFeedstockFn = Callable[[str, int], "tuple[PatternSet, int] | None"]
+ShardFeedstockFn = Callable[
+    [str, int], "tuple[PatternSet | CondensedPatternSet, int] | None"
+]
 
 #: Optional sink for fresh shard results: (fingerprint, local_support,
 #: patterns). The service wires this to ``PatternWarehouse.put``.
@@ -138,6 +141,14 @@ class ShardTask:
     single_group_shortcut: bool = True
     feedstock: PatternRows | None = None
     feedstock_support: int | None = None
+    #: Representation of the feedstock rows: ``full`` means they are the
+    #: complete frequent set; ``closed``/``ndi`` means they are condensed
+    #: entries, which the worker rehydrates into a
+    #: :class:`~repro.data.patterns.CondensedPatternSet` so its planner
+    #: stays sound (a filter over condensed entries must expand).
+    feedstock_repr: str = "full"
+    feedstock_n: int | None = None
+    feedstock_ndi_depth: int = NDI_RULE_DEPTH
     scratch: bool = False
     fail: bool = False
     delay_seconds: float = 0.0
@@ -160,7 +171,18 @@ def run_shard_task(task: ShardTask) -> dict[str, object]:
         time.sleep(task.delay_seconds)
     shard = task.shard
     if task.feedstock is not None:
-        feedstock = rows_to_patterns(task.feedstock)
+        feedstock: PatternSet | CondensedPatternSet
+        if task.feedstock_repr != "full":
+            assert task.feedstock_support is not None
+            feedstock = CondensedPatternSet(
+                task.feedstock_repr,
+                {frozenset(items): support for items, support in task.feedstock},
+                task.feedstock_support,
+                n_transactions=task.feedstock_n,
+                ndi_depth=task.feedstock_ndi_depth,
+            )
+        else:
+            feedstock = rows_to_patterns(task.feedstock)
         plan = plan_support_path(
             task.local_support, feedstock, task.feedstock_support
         )
@@ -350,6 +372,11 @@ class ParallelEngine:
     ) -> ParallelOutcome:
         """Parallel Phase 2: compress once, mine shards, merge exactly."""
         started = time.perf_counter()
+        if isinstance(old_patterns, CondensedPatternSet):
+            # Phase 1 only needs genuine frequent patterns with exact
+            # supports to claim compression groups — the condensed
+            # entries qualify directly, no expansion required.
+            old_patterns = old_patterns.entry_patterns()
         compression = compress(
             db, old_patterns, strategy, counters, backend=backend
         )
@@ -454,11 +481,21 @@ class ParallelEngine:
             local = plan.local_support(shard, min_support)
             feedstock_rows: PatternRows | None = None
             feedstock_support: int | None = None
+            feedstock_repr = "full"
+            feedstock_n: int | None = None
+            feedstock_ndi_depth = NDI_RULE_DEPTH
             if self.shard_feedstock is not None:
                 hit = self.shard_feedstock(shard.fingerprint(), local)
                 if hit is not None:
+                    # patterns_to_rows serializes whatever items() yields
+                    # — for a condensed set that is its entries, so the
+                    # wire payload stays condensed too.
                     feedstock_rows = patterns_to_rows(hit[0])
                     feedstock_support = hit[1]
+                    if isinstance(hit[0], CondensedPatternSet):
+                        feedstock_repr = hit[0].representation
+                        feedstock_n = hit[0].n_transactions
+                        feedstock_ndi_depth = hit[0].ndi_depth
             tasks.append(
                 ShardTask(
                     shard=shard,
@@ -469,6 +506,9 @@ class ParallelEngine:
                     single_group_shortcut=single_group_shortcut,
                     feedstock=feedstock_rows,
                     feedstock_support=feedstock_support,
+                    feedstock_repr=feedstock_repr,
+                    feedstock_n=feedstock_n,
+                    feedstock_ndi_depth=feedstock_ndi_depth,
                     scratch=scratch,
                 )
             )

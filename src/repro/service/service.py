@@ -148,10 +148,15 @@ class ServiceStats:
         self._degradation_reasons: dict[str, int] = {}
         self._latencies: list[float] = []
         self._breaker: CircuitBreaker | None = None
+        self._warehouse: PatternWarehouse | None = None
 
     def attach_breaker(self, breaker: CircuitBreaker) -> None:
         """Surface a circuit breaker's live state in :meth:`snapshot`."""
         self._breaker = breaker
+
+    def attach_warehouse(self, warehouse: PatternWarehouse) -> None:
+        """Surface warehouse storage gauges in :meth:`snapshot`."""
+        self._warehouse = warehouse
 
     def record(self, response: MineResponse) -> None:
         with self._lock:
@@ -225,6 +230,7 @@ class ServiceStats:
         p50 = self.latency_quantile(0.50)
         p95 = self.latency_quantile(0.95)
         rates = self.path_rates()
+        warehouse_gauges = self._warehouse_snapshot()
         with self._lock:
             breaker = (
                 self._breaker.snapshot()
@@ -251,7 +257,26 @@ class ServiceStats:
                 "breaker_trips": float(breaker["trips"]),
                 "latency_p50_s": p50,
                 "latency_p95_s": p95,
+                **warehouse_gauges,
             }
+
+    def _warehouse_snapshot(self) -> dict[str, float]:
+        """Storage gauges from the attached warehouse (empty when none).
+
+        Called outside the stats lock — the warehouse has its own — and
+        merged into :meth:`snapshot` so one dict carries both the request
+        ledger and the condensation economics behind it.
+        """
+        if self._warehouse is None:
+            return {}
+        stats = self._warehouse.stats()
+        return {
+            "warehouse_entries": float(stats["entries"]),
+            "warehouse_stored_bytes": float(stats["stored_bytes"]),
+            "warehouse_full_bytes": float(stats["full_bytes"]),
+            "warehouse_condensation_ratio": self._warehouse.condensation_ratio(),
+            "warehouse_migrated": float(stats["migrated"]),
+        }
 
 
 class MiningService:
@@ -295,6 +320,8 @@ class MiningService:
         self.breaker = self.resilience.breaker or CircuitBreaker()
         self.stats = ServiceStats()
         self.stats.attach_breaker(self.breaker)
+        if warehouse is not None:
+            self.stats.attach_warehouse(warehouse)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-mining"
         )
@@ -445,9 +472,13 @@ class MiningService:
         degradation = DegradationReport()
         started = time.perf_counter()
         hit = self._find_feedstock(fingerprint, absolute, degradation)
+        # The plan consumes the warehouse entry in its stored (condensed)
+        # form: a filter answers straight off the condensed set, and the
+        # recycle path claims compression from the entries without ever
+        # materializing the full expansion.
         plan = plan_support_path(
             absolute,
-            hit.patterns if hit is not None else None,
+            hit.feedstock if hit is not None else None,
             hit.absolute_support if hit is not None else None,
         )
         jobs = 1
@@ -488,7 +519,9 @@ class MiningService:
             # storing them would only dilute the byte budget. Mined and
             # recycled sets are new capital — shelve them.
             was_memory_only = self.warehouse.memory_only_reason is not None
-            self.warehouse.put(fingerprint, absolute, patterns)
+            self.warehouse.put(
+                fingerprint, absolute, patterns, n_transactions=len(request.db)
+            )
             if not was_memory_only and self.warehouse.memory_only_reason:
                 degradation.record("warehouse", "memory_only", REASON_WRITE_FAILED)
         elapsed = time.perf_counter() - started
@@ -534,7 +567,10 @@ class MiningService:
                     return None  # a failed shard read is just a cold shard
                 if hit is None:
                     return None
-                return hit.patterns, hit.absolute_support
+                # Condensed entries cross the shard boundary as-is; the
+                # executor serializes their entries and rehydrates the
+                # condensed set inside the worker.
+                return hit.feedstock, hit.absolute_support
 
             def on_shard_result(
                 fingerprint: str, local_support: int, patterns: PatternSet

@@ -10,11 +10,18 @@ support-level :class:`~repro.mining.patterns.PatternSet`s keyed by
   :meth:`TransactionDatabase.fingerprint`, a stable content hash, so two
   tenants mining the "same" database from different objects (or
   processes) share entries.
+* **Entries are condensed at rest.** A put condenses the full frequent
+  set into the warehouse's ``representation`` — ``closed`` (no superset
+  with equal support) by default, or ``ndi`` (Calders–Goethals
+  non-derivable itemsets), or ``full`` — and reads expand lazily, so
+  consumers always see exact full sets while dense-data entries shrink
+  by orders of magnitude.
 * **Eviction is byte-budgeted LRU.** Every entry is charged its modelled
   on-disk size (:func:`repro.storage.disk.patterns_byte_size`, the same
-  int-based model as the simulated disk), and the least recently *used*
-  entries are dropped first whenever the total would exceed the budget.
-  An entry larger than the whole budget is rejected outright.
+  int-based model as the simulated disk) *in its condensed form*, and
+  the least recently *used* entries are dropped first whenever the total
+  would exceed the budget. An entry larger than the whole budget is
+  rejected outright.
 * **Lookups return the best feedstock**, not just exact hits. A stored
   set mined at support ``s`` serves a request at support ``r`` two ways:
   ``s <= r`` means the stored set is a superset of the answer — *filter*
@@ -25,8 +32,10 @@ support-level :class:`~repro.mining.patterns.PatternSet`s keyed by
   recycle), then a miss.
 * **Optionally disk-backed, and hardened against the disk.** Given a
   directory, every entry is also written as an atomic, checksummed
-  pattern file (:func:`repro.data.io.write_patterns_with_support`) and
-  reloaded on construction. A corrupt, truncated or checksum-mismatched
+  pattern file (:func:`repro.data.io.write_warehouse_entry`, carrying a
+  ``# repr=`` header) and reloaded on construction; legacy full-set
+  files load fine and are re-written condensed (migration). A corrupt,
+  truncated or checksum-mismatched
   file never crashes construction: it is **quarantined** — moved into
   ``<dir>/quarantine/`` and recorded on :attr:`quarantined` — while
   every healthy entry is served. A failed write-through degrades the
@@ -56,7 +65,8 @@ from dataclasses import dataclass
 from itertools import combinations
 from pathlib import Path
 
-from repro.data.io import read_patterns_with_support, write_patterns_with_support
+from repro.data.io import read_warehouse_entry, write_warehouse_entry
+from repro.data.patterns import REPRESENTATIONS, CondensedPatternSet
 from repro.errors import DataError, InjectedFaultError, StorageError
 from repro.mining.patterns import PatternSet
 from repro.resilience import WAREHOUSE_READ, WAREHOUSE_WRITE, FaultInjector
@@ -73,12 +83,26 @@ QUARANTINE_DIR = "quarantine"
 
 @dataclass(frozen=True)
 class WarehouseHit:
-    """A usable feedstock found for a requested (fingerprint, support)."""
+    """A usable feedstock found for a requested (fingerprint, support).
+
+    ``feedstock`` is the stored (possibly condensed) object — what the
+    planner consumes directly; the recycle path feeds its entries to the
+    compressor and the filter path filters them, neither expanding the
+    full set. :attr:`patterns` materializes the exact frequent set for
+    callers that need it (the expansion is cached on the entry).
+    """
 
     fingerprint: str
     absolute_support: int  # the support the stored set was mined at
-    patterns: PatternSet
+    feedstock: "PatternSet | CondensedPatternSet"
     exact: bool  # stored support == requested support
+
+    @property
+    def patterns(self) -> PatternSet:
+        """The exact frequent set (lazily expanded when condensed)."""
+        if isinstance(self.feedstock, CondensedPatternSet):
+            return self.feedstock.expand()
+        return self.feedstock
 
 
 @dataclass(frozen=True)
@@ -89,6 +113,7 @@ class IntegrityReport:
     absolute_support: int
     checks: int
     violations: tuple[str, ...]
+    representation: str = "full"
 
     @property
     def ok(self) -> bool:
@@ -112,6 +137,17 @@ class PatternWarehouse:
     fault_injector:
         Optional :class:`~repro.resilience.FaultInjector` armed at the
         ``warehouse.read`` / ``warehouse.write`` fault points.
+    representation:
+        How new entries are stored: ``"closed"`` (default), ``"ndi"`` or
+        ``"full"``. Condensation happens on :meth:`put`; reads expand
+        lazily, so every consumer still sees exact full sets. An ``ndi``
+        warehouse stores an entry as ``closed`` instead when the caller
+        cannot supply the transaction count the deduction rules need.
+    migrate_on_load:
+        When persisting, re-write loaded entries whose on-disk
+        representation differs from ``representation`` (pre-condensation
+        full-set files get condensed on first load). Disable for
+        read-only inspection of an existing directory.
     """
 
     def __init__(
@@ -119,21 +155,34 @@ class PatternWarehouse:
         byte_budget: int | None = None,
         directory: str | Path | None = None,
         fault_injector: FaultInjector | None = None,
+        representation: str = "closed",
+        migrate_on_load: bool = True,
     ) -> None:
         if byte_budget is not None and byte_budget <= 0:
             raise StorageError(f"byte_budget must be positive, got {byte_budget}")
+        if representation not in REPRESENTATIONS:
+            raise StorageError(
+                f"unknown representation {representation!r}; "
+                f"expected one of {REPRESENTATIONS}"
+            )
         self.byte_budget = byte_budget
+        self.representation = representation
+        self.migrate_on_load = migrate_on_load
         self.directory = Path(directory) if directory is not None else None
         self.faults = fault_injector
         self._lock = threading.RLock()
-        # (fingerprint, support) -> (patterns, byte size); insertion order
-        # doubles as recency order (least recently used first).
-        self._entries: OrderedDict[tuple[str, int], tuple[PatternSet, int]] = (
-            OrderedDict()
-        )
+        # (fingerprint, support) -> (condensed, byte size, full bytes);
+        # insertion order doubles as recency order (least recently used
+        # first). ``full bytes`` is the expanded set's modelled size when
+        # known (put time, file header), else None.
+        self._entries: OrderedDict[
+            tuple[str, int], tuple[CondensedPatternSet, int, int | None]
+        ] = OrderedDict()
         self._stored_bytes = 0
         self.evictions = 0
         self.rejections = 0
+        #: Entries re-written in a new representation at load time.
+        self.migrated = 0
         #: (filename, reason) for every file quarantined at load time.
         self.quarantined: list[tuple[str, str]] = []
         self._quarantined_fingerprints: set[str] = set()
@@ -146,17 +195,43 @@ class PatternWarehouse:
     # ------------------------------------------------------------------
     # core operations
     # ------------------------------------------------------------------
-    def put(self, fingerprint: str, absolute_support: int, patterns: PatternSet) -> bool:
+    def put(
+        self,
+        fingerprint: str,
+        absolute_support: int,
+        patterns: "PatternSet | CondensedPatternSet",
+        n_transactions: int | None = None,
+    ) -> bool:
         """Store a support-level pattern set; returns False if rejected.
 
-        ``patterns`` must be the *full* frequent-pattern set of the
-        fingerprinted database at ``absolute_support`` — the warehouse
-        invariant every lookup path relies on. Storing evicts least
-        recently used entries until the byte budget holds again. A
-        write-through failure never loses the in-memory entry: it
-        degrades the warehouse to memory-only and logs why.
+        ``patterns`` must represent the *full* frequent-pattern set of
+        the fingerprinted database at ``absolute_support`` — the
+        warehouse invariant every lookup path relies on. A plain
+        :class:`PatternSet` is condensed into the warehouse's
+        representation here (``ndi`` needs ``n_transactions``; without
+        it the entry degrades to ``closed``); an already-condensed set
+        is stored as-is. The byte budget charges the *condensed* size.
+        Storing evicts least recently used entries until the budget
+        holds again. A write-through failure never loses the in-memory
+        entry: it degrades the warehouse to memory-only and logs why.
         """
-        size = patterns_byte_size(patterns)
+        if isinstance(patterns, CondensedPatternSet):
+            condensed = patterns
+            full_bytes: int | None = None
+            if condensed.representation == "full":
+                full_bytes = patterns_byte_size(condensed.entry_patterns())
+        else:
+            representation = self.representation
+            if representation == "ndi" and n_transactions is None:
+                representation = "closed"
+            condensed = CondensedPatternSet.condense(
+                patterns,
+                absolute_support,
+                representation,
+                n_transactions=n_transactions,
+            )
+            full_bytes = patterns_byte_size(patterns)
+        size = patterns_byte_size(condensed)
         with self._lock:
             if self.byte_budget is not None and size > self.byte_budget:
                 self.rejections += 1
@@ -165,7 +240,7 @@ class PatternWarehouse:
             existing = self._entries.pop(key, None)
             if existing is not None:
                 self._stored_bytes -= existing[1]
-            self._entries[key] = (patterns, size)
+            self._entries[key] = (condensed, size, full_bytes)
             self._stored_bytes += size
             self._evict_to_budget()
             if self._persisting():
@@ -174,15 +249,26 @@ class PatternWarehouse:
                         self.faults.fire(
                             WAREHOUSE_WRITE, detail=f"writing {key}"
                         )
-                    write_patterns_with_support(
-                        patterns, self._entry_path(key), absolute_support
+                    write_warehouse_entry(
+                        condensed, self._entry_path(key), full_bytes=full_bytes
                     )
                 except (OSError, InjectedFaultError) as exc:
                     self._degrade_to_memory(f"write-through for {key} failed: {exc}")
         return True
 
     def get(self, fingerprint: str, absolute_support: int) -> PatternSet | None:
-        """The exact entry for the key, or ``None`` (touches recency)."""
+        """The exact *full* set for the key, or ``None`` (touches recency).
+
+        Condensed entries are materialized lazily — the expansion is
+        computed on first access and cached on the entry.
+        """
+        condensed = self.get_condensed(fingerprint, absolute_support)
+        return None if condensed is None else condensed.expand()
+
+    def get_condensed(
+        self, fingerprint: str, absolute_support: int
+    ) -> CondensedPatternSet | None:
+        """The stored (condensed) entry for the key, without expansion."""
         key = (fingerprint, absolute_support)
         with self._lock:
             entry = self._entries.get(key)
@@ -229,7 +315,7 @@ class PatternWarehouse:
             return WarehouseHit(
                 fingerprint=fingerprint,
                 absolute_support=chosen,
-                patterns=self._entries[key][0],
+                feedstock=self._entries[key][0],
                 exact=chosen == absolute_support,
             )
 
@@ -262,9 +348,12 @@ class PatternWarehouse:
 
         A violation proves the entry is *not* a genuine full frequent-
         pattern set — bit rot that survived the checksum, a buggy
-        writer, or a tampered file. The audit only reports; quarantining
-        or dropping the entry is the caller's decision
-        (:meth:`drop_entry`).
+        writer, or a tampered file. A condensed entry is audited through
+        its (cached) expansion: the deduction rules that reconstruct the
+        full set are exactly the consistency conditions being checked,
+        so corrupt condensed entries surface here too. The audit only
+        reports; quarantining or dropping the entry is the caller's
+        decision (:meth:`drop_entry`).
         """
         with self._lock:
             entry = self._entries.get((fingerprint, absolute_support))
@@ -272,7 +361,9 @@ class PatternWarehouse:
                 raise StorageError(
                     f"no entry for ({fingerprint!r}, {absolute_support}) to verify"
                 )
-            patterns = entry[0]
+            condensed = entry[0]
+        representation = condensed.representation
+        patterns = condensed.expand()
         supports = dict(patterns.items())
         checks = 0
         violations: list[str] = []
@@ -340,6 +431,7 @@ class PatternWarehouse:
             absolute_support=absolute_support,
             checks=checks,
             violations=tuple(violations),
+            representation=representation,
         )
 
     def drop_entry(self, fingerprint: str, absolute_support: int) -> bool:
@@ -393,17 +485,73 @@ class PatternWarehouse:
             return fingerprint in self._quarantined_fingerprints
 
     def stats(self) -> dict[str, int]:
-        """Structural statistics (entry count, bytes, evictions, health)."""
+        """Structural statistics (entry count, bytes, evictions, health).
+
+        ``full_bytes`` is the modelled size the same entries would
+        occupy expanded (falling back to the stored size when an
+        entry's expanded size is unknown) — the condensation gauge:
+        ``full_bytes / stored_bytes`` is the byte-level condensation
+        ratio the service and CLI report.
+        """
         with self._lock:
+            full_bytes = sum(
+                full if full is not None else size
+                for _c, size, full in self._entries.values()
+            )
             return {
                 "entries": len(self._entries),
                 "stored_bytes": self._stored_bytes,
+                "full_bytes": full_bytes,
                 "byte_budget": self.byte_budget or 0,
                 "evictions": self.evictions,
                 "rejections": self.rejections,
+                "migrated": self.migrated,
                 "quarantined": len(self.quarantined),
                 "memory_only": int(self.memory_only_reason is not None),
             }
+
+    def condensation_ratio(self) -> float:
+        """Byte-level condensation gauge: ``full_bytes / stored_bytes``.
+
+        1.0 when empty (or storing full sets); > 1 means the condensed
+        entries are that many times smaller than the sets they serve.
+        """
+        stats = self.stats()
+        if stats["stored_bytes"] == 0:
+            return 1.0
+        return stats["full_bytes"] / stats["stored_bytes"]
+
+    def describe_entries(self) -> list[dict[str, object]]:
+        """One row per entry for inspection (the ``repro warehouse`` CLI).
+
+        Rows are least recently used first (the eviction order). The
+        ``expanded`` count is only reported when already known — from
+        condensation, a file header, or a cached expansion — so
+        describing a warehouse never forces expansions.
+        """
+        with self._lock:
+            rows: list[dict[str, object]] = []
+            for (fingerprint, support), (condensed, size, full) in (
+                self._entries.items()
+            ):
+                known = condensed.known_expanded_count()
+                rows.append(
+                    {
+                        "fingerprint": fingerprint,
+                        "absolute_support": support,
+                        "representation": condensed.representation,
+                        "entries": len(condensed),
+                        "expanded": known,
+                        "stored_bytes": size,
+                        "full_bytes": full,
+                        "condensation_ratio": (
+                            (full if full is not None else size) / size
+                            if size
+                            else 1.0
+                        ),
+                    }
+                )
+            return rows
 
     # ------------------------------------------------------------------
     # internals
@@ -419,7 +567,7 @@ class PatternWarehouse:
         if self.byte_budget is None:
             return
         while self._stored_bytes > self.byte_budget and self._entries:
-            key, (_patterns, size) = self._entries.popitem(last=False)
+            key, (_patterns, size, _full) = self._entries.popitem(last=False)
             self._stored_bytes -= size
             self.evictions += 1
             if self._persisting():
@@ -463,19 +611,65 @@ class PatternWarehouse:
             try:
                 if self.faults is not None:
                     self.faults.fire(WAREHOUSE_READ, detail=f"loading {path.name}")
-                patterns, absolute_support = read_patterns_with_support(path)
-                if str(absolute_support) != support_text:
+                condensed, full_bytes = read_warehouse_entry(path)
+                if str(condensed.absolute_support) != support_text:
                     raise DataError(
                         f"filename support {support_text!r} disagrees with "
-                        f"header {absolute_support}"
+                        f"header {condensed.absolute_support}"
                     )
             except (DataError, OSError, InjectedFaultError) as exc:
                 self._quarantine(path, str(exc))
                 continue
-            size = patterns_byte_size(patterns)
+            condensed, full_bytes, migrated = self._maybe_migrate(
+                path, condensed, full_bytes
+            )
+            size = patterns_byte_size(condensed)
             if self.byte_budget is not None and size > self.byte_budget:
                 self.rejections += 1
                 continue
-            self._entries[(fingerprint, absolute_support)] = (patterns, size)
+            key = (fingerprint, condensed.absolute_support)
+            self._entries[key] = (condensed, size, full_bytes)
             self._stored_bytes += size
+            if migrated:
+                self.migrated += 1
         self._evict_to_budget()
+
+    def _maybe_migrate(
+        self,
+        path: Path,
+        condensed: CondensedPatternSet,
+        full_bytes: int | None,
+    ) -> tuple[CondensedPatternSet, int | None, bool]:
+        """Re-represent (and re-write) a loaded entry when the knob differs.
+
+        Pre-condensation full-set files are how existing directories
+        migrate: on first load they are condensed and re-written in the
+        new format. A legacy file carries no transaction count, so an
+        ``ndi`` warehouse migrates it to ``closed`` instead (the
+        deduction rules need ``supp({}) = |D|``). Re-writing reuses the
+        normal write-through path, degrading to memory-only on failure
+        rather than losing the loaded entry.
+        """
+        target = self.representation
+        if target == "ndi" and condensed.n_transactions is None:
+            target = "closed"
+        if not self.migrate_on_load or condensed.representation == target:
+            return condensed, full_bytes, False
+        full = condensed.expand()
+        if full_bytes is None:
+            full_bytes = patterns_byte_size(full)
+        migrated = CondensedPatternSet.condense(
+            full,
+            condensed.absolute_support,
+            target,
+            n_transactions=condensed.n_transactions,
+            ndi_depth=condensed.ndi_depth,
+        )
+        if self._persisting():
+            try:
+                write_warehouse_entry(migrated, path, full_bytes=full_bytes)
+            except OSError as exc:
+                self._degrade_to_memory(
+                    f"migration re-write of {path.name} failed: {exc}"
+                )
+        return migrated, full_bytes, True

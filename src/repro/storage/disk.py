@@ -18,6 +18,7 @@ from repro.errors import StorageError
 from repro.metrics.counters import CostCounters
 
 __all__ = [
+    "CONDENSED_HEADER_BYTES",
     "DiskModel",
     "ITEM_BYTES",
     "RECORD_OVERHEAD_BYTES",
@@ -46,17 +47,36 @@ def transactions_byte_size(transactions: list[tuple[int, ...]]) -> int:
     )
 
 
-def patterns_byte_size(patterns) -> int:
-    """Modelled on-disk size of a :class:`~repro.mining.patterns.PatternSet`.
+#: Fixed charge for a condensed set's metadata (representation tag,
+#: threshold, transaction count / rule depth) — one record's worth of
+#: framing, mirroring the header lines in the on-disk format.
+CONDENSED_HEADER_BYTES = 3 * ITEM_BYTES + RECORD_OVERHEAD_BYTES
 
-    Each pattern stores its items plus a support count and per-record
-    framing — the same int-based model as raw transactions, which is
-    what the pattern warehouse charges against its byte budget.
+
+def patterns_byte_size(patterns) -> int:
+    """Modelled on-disk size of a pattern set, full or condensed.
+
+    Each *stored row* charges its items plus a support count and
+    per-record framing — the same int-based model as raw transactions,
+    which is what the pattern warehouse charges against its byte budget.
+    For a :class:`~repro.data.patterns.CondensedPatternSet` the stored
+    rows are the condensed entries (``items()`` iterates entries, never
+    the expansion), plus a fixed metadata-header charge — so the LRU
+    budget reflects the real cost of a condensed entry, not the size of
+    the full set it can reconstruct.
     """
-    return sum(
+    from repro.data.patterns import CondensedPatternSet
+
+    total = sum(
         len(items) * ITEM_BYTES + ITEM_BYTES + RECORD_OVERHEAD_BYTES
         for items, _support in patterns.items()
     )
+    if (
+        isinstance(patterns, CondensedPatternSet)
+        and patterns.representation != "full"
+    ):
+        total += CONDENSED_HEADER_BYTES
+    return total
 
 
 def cgroups_byte_size(groups) -> int:

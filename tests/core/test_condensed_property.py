@@ -1,0 +1,100 @@
+"""Property tests for the condensed representations (PR satellite).
+
+The load-bearing invariants, over hypothesis-generated databases:
+
+1. **Losslessness** — ``expand(condense(S)) == S`` for every
+   representation, and support queries answer exactly.
+2. **Feedstock equivalence** — every recycling miner, under every
+   strategy and backend, produces bit-identical results whether its
+   feedstock is the exact frequent set or its closed/NDI condensation.
+3. **Condensed miners** — the registry's condensed miners (python and
+   bitset backends) equal condensing a from-scratch full mine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recycle import recycle_mine
+from repro.data.patterns import CondensedPatternSet
+from repro.data.transactions import TransactionDatabase
+from repro.mining.bruteforce import mine_bruteforce
+from repro.mining.registry import get_miner, iter_miners
+
+RECYCLING_NAMES = sorted(spec.name for spec in iter_miners("recycling"))
+CONDENSED_NAMES = sorted(spec.name for spec in iter_miners("condensed"))
+
+small_databases = st.lists(
+    st.lists(st.integers(0, 7), min_size=1, max_size=6),
+    min_size=1,
+    max_size=16,
+)
+
+
+@given(
+    transactions=small_databases,
+    xi=st.integers(1, 5),
+    representation=st.sampled_from(["full", "closed", "ndi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_expand_of_condense_is_identity(transactions, xi, representation):
+    db = TransactionDatabase(transactions)
+    full = mine_bruteforce(db, xi)
+    condensed = CondensedPatternSet.condense(
+        full, xi, representation, n_transactions=len(db)
+    )
+    assert condensed.expand() == full
+    for items, support in full.items():
+        assert condensed.support_of(items) == support
+
+
+@given(
+    transactions=small_databases,
+    xi_old=st.integers(2, 5),
+    xi_new=st.integers(1, 3),
+    strategy=st.sampled_from(["mcp", "mlp"]),
+    backend=st.sampled_from(["bitset", "python"]),
+    representation=st.sampled_from(["closed", "ndi"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_condensed_feedstock_is_bit_identical_to_exact(
+    transactions, xi_old, xi_new, strategy, backend, representation
+):
+    db = TransactionDatabase(transactions)
+    old_patterns = mine_bruteforce(db, max(xi_old, xi_new))
+    if len(old_patterns) == 0:
+        return
+    condensed = CondensedPatternSet.condense(
+        old_patterns, max(xi_old, xi_new), representation, n_transactions=len(db)
+    )
+    reference = mine_bruteforce(db, xi_new)
+    for name in RECYCLING_NAMES:
+        exact = recycle_mine(
+            db, old_patterns, xi_new,
+            algorithm=name, strategy=strategy, backend=backend,
+        )
+        from_condensed = recycle_mine(
+            db, condensed, xi_new,
+            algorithm=name, strategy=strategy, backend=backend,
+        )
+        assert exact == reference, f"{name}/{strategy}/{backend} diverged"
+        assert from_condensed == reference, (
+            f"{name}/{strategy}/{backend}/{representation} diverged on "
+            "condensed feedstock"
+        )
+
+
+@given(transactions=small_databases, xi=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_condensed_miners_match_condensing_a_full_mine(transactions, xi):
+    db = TransactionDatabase(transactions)
+    full = mine_bruteforce(db, xi)
+    for name in CONDENSED_NAMES:
+        spec = get_miner(name, kind="condensed")
+        mined = spec.fn(db, xi, None)
+        expected = CondensedPatternSet.condense(
+            full, xi, mined.representation, n_transactions=len(db)
+        )
+        assert mined == expected, f"{name} diverged from condense(full)"
+        assert mined.expand() == full, f"{name} expansion diverged"

@@ -181,25 +181,16 @@ class TestToGrouped:
             to_grouped([("not", "a", "group")])
 
 
-class TestDeprecationShims:
-    def test_cgroup_name_warns_and_is_group(self):
-        with pytest.warns(DeprecationWarning):
-            from repro.core.naive import CGroup
-        assert CGroup is Group
+class TestRetiredShims:
+    """The CGroup-era compatibility shims are gone, not just deprecated."""
 
-    def test_compressed_to_cgroups_warns(self, paper_db, paper_old_patterns):
-        from repro.core.naive import compressed_to_cgroups
+    def test_retired_names_are_absent(self):
+        import repro.core
+        import repro.core.naive as naive
 
-        compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
-        with pytest.warns(DeprecationWarning):
-            groups = compressed_to_cgroups(compressed)
-        assert list(groups) == list(compressed.mining_groups())
-
-    def test_database_to_cgroups_warns(self, tiny_db):
-        from repro.core.naive import database_to_cgroups
-
-        with pytest.warns(DeprecationWarning):
-            groups = database_to_cgroups(tiny_db)
-        assert list(groups) == list(
-            GroupedDatabase.from_database(tiny_db).mining_groups()
-        )
+        for name in ("CGroup", "compressed_to_cgroups", "database_to_cgroups"):
+            with pytest.raises(AttributeError):
+                getattr(naive, name)
+            with pytest.raises(AttributeError):
+                getattr(repro.core, name)
+            assert name not in repro.core.__all__

@@ -71,11 +71,11 @@ class TestEdgeCases:
         with pytest.raises(MiningError):
             mine_recycle_hmine(compressed, 0)
 
-    def test_accepts_raw_cgroup_list(self, paper_db, paper_old_patterns):
-        from repro.core.naive import compressed_to_cgroups
+    def test_accepts_raw_group_list(self, paper_db, paper_old_patterns):
+        from repro.core.groups import to_grouped
 
         compressed = compress(paper_db, paper_old_patterns, "mcp").compressed
-        groups = compressed_to_cgroups(compressed)
+        groups = list(to_grouped(compressed).mining_groups())
         assert mine_recycle_hmine(groups, 2) == mine_recycle_hmine(compressed, 2)
 
     def test_tail_items_interleaved_with_pattern_items(self):

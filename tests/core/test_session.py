@@ -206,3 +206,71 @@ class TestEmptyFeedstockFallback:
         result = session.mine(5)
         assert session.last_report.path == "initial"
         assert result == mine_hmine(db, 5)
+
+
+class TestRepresentationKnob:
+    def test_unknown_representation_rejected(self, db):
+        with pytest.raises(RecycleError, match="unknown representation"):
+            MiningSession(db, representation="compact")
+
+    @pytest.mark.parametrize("representation", ["closed", "ndi"])
+    def test_condensed_sessions_mine_exactly(self, db, representation):
+        session = MiningSession(db, representation=representation)
+        for support in (12, 20, 6, 9):
+            assert session.mine(support) == mine_hmine(db, support)
+        assert [r.path for r in session.history] == [
+            "initial", "filter", "recycle", "filter",
+        ]
+
+    def test_reports_carry_condensation_gauges(self, db):
+        session = MiningSession(db, representation="closed")
+        session.mine(10)
+        report = session.last_report
+        assert report.representation == "closed"
+        assert 0 < report.feedstock_entries <= report.pattern_count
+        assert report.condensation_ratio >= 1.0
+
+    def test_full_sessions_report_unit_ratio(self, db):
+        session = MiningSession(db)
+        session.mine(10)
+        report = session.last_report
+        assert report.representation == "full"
+        assert report.feedstock_entries == report.pattern_count
+        assert report.condensation_ratio == 1.0
+
+    def test_exported_feedstock_is_condensed(self, db):
+        from repro.data.patterns import CondensedPatternSet
+
+        session = MiningSession(db, representation="closed")
+        session.mine(10)
+        feedstock = session.exported_feedstock()
+        assert isinstance(feedstock, CondensedPatternSet)
+        assert feedstock.representation == "closed"
+        # The public export is always the exact full set.
+        assert session.exported_patterns() == mine_hmine(db, 10)
+
+    def test_save_records_representation(self, db, tmp_path):
+        path = tmp_path / "closed.patterns"
+        session = MiningSession(db, representation="closed")
+        session.mine(12)
+        session.save_patterns(str(path))
+        header = path.read_text(encoding="utf-8").splitlines()
+        assert "# repr=closed" in header
+
+    @pytest.mark.parametrize("saver_rep", ["full", "closed", "ndi"])
+    @pytest.mark.parametrize("loader_rep", ["full", "closed", "ndi"])
+    def test_cross_representation_round_trip(self, db, tmp_path, saver_rep, loader_rep):
+        """Any session can load any session's save file and recycle from
+        it exactly — the representation is a cache format, not a
+        contract between users."""
+        path = str(tmp_path / "handoff.patterns")
+        alice = MiningSession(db, representation=saver_rep)
+        alice.mine(12)
+        alice.save_patterns(path)
+
+        bob = MiningSession(db, representation=loader_rep)
+        bob.load_patterns(path)
+        assert bob.exported_patterns() == alice.exported_patterns()
+        result = bob.mine(5)
+        assert bob.history[-1].path == "recycle"
+        assert result == mine_hmine(db, 5)

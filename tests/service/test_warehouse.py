@@ -38,7 +38,9 @@ class TestPutGet:
         warehouse.put(db.fingerprint(), 6, patterns)
         warehouse.put(db.fingerprint(), 6, patterns)
         assert len(warehouse) == 1
-        assert warehouse.stored_bytes() == patterns_byte_size(patterns)
+        # The charge is the *condensed* entry's size, once.
+        stored = warehouse.get_condensed(db.fingerprint(), 6)
+        assert warehouse.stored_bytes() == patterns_byte_size(stored)
 
     def test_fingerprint_is_content_addressed(self, db):
         """An equal database built separately shares warehouse entries."""
@@ -91,11 +93,14 @@ class TestBestFeedstock:
 
 
 class TestByteBudget:
+    # These budgets are sized from full-set byte counts, so they pin the
+    # LRU mechanics with representation="full"; condensed-size accounting
+    # has its own budget tests in test_warehouse_condensed.py.
     def test_budget_never_exceeded_and_lru_evicts_first(self, db):
         sets = _sets(db, (4, 6, 9, 12))
         sizes = {s: patterns_byte_size(p) for s, p in sets.items()}
         budget = sizes[4] + sizes[6] + 1  # room for the two biggest, not all
-        warehouse = PatternWarehouse(byte_budget=budget)
+        warehouse = PatternWarehouse(byte_budget=budget, representation="full")
         for support in (12, 9, 6, 4):
             assert warehouse.put(db.fingerprint(), support, sets[support])
             assert warehouse.stored_bytes() <= budget
@@ -115,7 +120,9 @@ class TestByteBudget:
 
     def test_oversized_entry_rejected_outright(self, db):
         patterns = mine_hmine(db, 4)
-        warehouse = PatternWarehouse(byte_budget=patterns_byte_size(patterns) - 1)
+        warehouse = PatternWarehouse(
+            byte_budget=patterns_byte_size(patterns) - 1, representation="full"
+        )
         assert not warehouse.put(db.fingerprint(), 4, patterns)
         assert len(warehouse) == 0
         assert warehouse.rejections == 1
@@ -142,7 +149,9 @@ class TestDiskBacking:
     def test_eviction_removes_files(self, db, tmp_path):
         sets = _sets(db, (4, 6))
         budget = patterns_byte_size(sets[4]) + 1
-        warehouse = PatternWarehouse(byte_budget=budget, directory=tmp_path)
+        warehouse = PatternWarehouse(
+            byte_budget=budget, directory=tmp_path, representation="full"
+        )
         warehouse.put(db.fingerprint(), 6, sets[6])
         warehouse.put(db.fingerprint(), 4, sets[4])  # evicts the 6-entry
         remaining = list(tmp_path.glob("*.patterns"))
@@ -156,6 +165,8 @@ class TestDiskBacking:
             unbounded.put(db.fingerprint(), support, patterns)
 
         budget = patterns_byte_size(sets[9]) + patterns_byte_size(sets[6])
-        bounded = PatternWarehouse(byte_budget=budget, directory=tmp_path)
+        bounded = PatternWarehouse(
+            byte_budget=budget, directory=tmp_path, representation="full"
+        )
         assert bounded.stored_bytes() <= budget
         assert len(bounded) < 3

@@ -151,6 +151,11 @@ class TestWriteDegradation:
 
 
 class TestIntegrityAudit:
+    # The hand-corrupted audits store with representation="full":
+    # condensing on put assumes a genuine full set and would
+    # normalize the planted inconsistencies away. Condensed-entry
+    # audits live in test_warehouse_condensed.py.
+
     def test_genuine_full_set_passes(self, db):
         warehouse = PatternWarehouse()
         fingerprint = db.fingerprint()
@@ -163,7 +168,7 @@ class TestIntegrityAudit:
             PatternWarehouse().verify_entry("nope", 5)
 
     def test_below_threshold_support_detected(self):
-        warehouse = PatternWarehouse()
+        warehouse = PatternWarehouse(representation="full")
         bad = PatternSet()
         bad.add({1}, 3)  # below the claimed threshold of 5
         warehouse.put("fp", 5, bad)
@@ -172,7 +177,7 @@ class TestIntegrityAudit:
         assert any("below the entry threshold" in v for v in report.violations)
 
     def test_missing_subset_detected(self):
-        warehouse = PatternWarehouse()
+        warehouse = PatternWarehouse(representation="full")
         bad = PatternSet()
         bad.add({1}, 9)
         bad.add({1, 2}, 7)  # {2} missing → not downward closed
@@ -181,7 +186,7 @@ class TestIntegrityAudit:
         assert any("missing" in v for v in report.violations)
 
     def test_anti_monotonicity_violation_detected(self):
-        warehouse = PatternWarehouse()
+        warehouse = PatternWarehouse(representation="full")
         bad = PatternSet()
         bad.add({1}, 6)
         bad.add({2}, 9)
@@ -194,7 +199,7 @@ class TestIntegrityAudit:
         # supp(abc) must be >= supp(ab) + supp(ac) - supp(a) = 9+9-10 = 8,
         # but claims 5 — internally inconsistent even though every pair
         # is individually monotone.
-        warehouse = PatternWarehouse()
+        warehouse = PatternWarehouse(representation="full")
         bad = PatternSet()
         for items, support in (
             ({1}, 10), ({2}, 10), ({3}, 10),

@@ -197,12 +197,90 @@ class TestServeBatch:
         assert code == 1
         assert "cannot read" in capsys.readouterr().err
 
+    def test_condensation_gauges_printed(self, workload_file, capsys):
+        code = main(["serve-batch", "--workload", str(workload_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "condensation" in out
+        assert "closed entries serve" in out
+
+    def test_full_representation_suppresses_gauges(self, workload_file, capsys):
+        code = main(
+            [
+                "serve-batch", "--workload", str(workload_file),
+                "--representation", "full",
+            ]
+        )
+        assert code == 0
+        assert "condensation" not in capsys.readouterr().out
+
+
+class TestWarehouseCommand:
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.mining.hmine import mine_hmine
+        from repro.service.warehouse import PatternWarehouse
+
+        db = TransactionDatabase([[1, 2, 3, 4]] * 4 + [[1, 2]] * 4)
+        warehouse = PatternWarehouse(directory=tmp_path)
+        warehouse.put(
+            db.fingerprint(), 4, mine_hmine(db, 4), n_transactions=len(db)
+        )
+        return tmp_path, db
+
+    def test_lists_entries_with_representation(self, store, capsys):
+        directory, db = store
+        assert main(["warehouse", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert db.fingerprint() in out
+        assert "closed" in out
+        assert "condensation" in out
+
+    def test_verify_audits_every_entry(self, store, capsys):
+        directory, _db = store
+        assert main(["warehouse", "--dir", str(directory), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ok (" in out
+        assert "FAILED" not in out
+
+    def test_verify_fails_on_corrupt_entry(self, tmp_path, capsys):
+        # A full-representation entry whose supports violate
+        # anti-monotonicity: every file-level check (headers, checksum,
+        # threshold) passes, so only the semantic audit can catch it.
+        from repro.data.io import write_warehouse_entry
+        from repro.data.patterns import CondensedPatternSet, pattern
+
+        bad = CondensedPatternSet(
+            "full",
+            {pattern([1]): 5, pattern([2]): 6, pattern([1, 2]): 6},
+            4,
+        )
+        write_warehouse_entry(bad, tmp_path / "corrupt-4.patterns")
+        code = main(["warehouse", "--dir", str(tmp_path), "--verify"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_inspection_does_not_migrate_files(self, tmp_path, capsys):
+        from repro.data.io import write_patterns_with_support
+        from repro.mining.hmine import mine_hmine
+
+        db = TransactionDatabase([[1, 2, 3, 4]] * 4 + [[1, 2]] * 4)
+        path = tmp_path / f"{db.fingerprint()}-4.patterns"
+        write_patterns_with_support(mine_hmine(db, 4), path, 4)
+        before = path.read_text()
+        assert main(["warehouse", "--dir", str(tmp_path)]) == 0
+        assert path.read_text() == before
+        assert "full" in capsys.readouterr().out
+
 
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("mine", "compress", "recycle", "bench", "serve-batch"):
+        for command in (
+            "mine", "compress", "recycle", "bench", "serve-batch", "warehouse"
+        ):
             assert command in text
 
     def test_bench_requires_experiment(self):

@@ -115,3 +115,42 @@ def test_every_source_module_is_parseable():
     assert len(paths) > 30
     for path in paths:
         ast.parse(path.read_text(), filename=str(path))
+
+
+#: API names retired for good. They must not resurface anywhere in the
+#: source tree — not as definitions, not as imports, not as shims.
+RETIRED_NAMES = ("CGroup", "compressed_to_cgroups", "database_to_cgroups")
+
+
+def test_retired_names_stay_retired():
+    """The deprecated CGroup-era shims were deleted, not re-hidden.
+
+    Checked at the AST level: docstrings may still narrate the history,
+    but no module may define, import, reference or re-export the retired
+    names as code.
+    """
+    retired = set(RETIRED_NAMES)
+    offenders: list[str] = []
+    for path in sorted(SRC.glob("repro/**/*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            used: set[str] = set()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                used.add(node.name)
+            elif isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                used.add(node.attr)
+            elif isinstance(node, ast.alias):
+                used.add(node.name)
+                if node.asname:
+                    used.add(node.asname)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # String re-exports: __all__ entries, lazy-import tables.
+                if node.value in retired:
+                    used.add(node.value)
+            for name in sorted(used & retired):
+                offenders.append(f"{module_name(path)} references {name}")
+    assert not offenders, (
+        "retired API names resurfaced:\n  " + "\n  ".join(offenders)
+    )
