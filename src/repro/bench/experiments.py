@@ -604,6 +604,197 @@ def service_benchmark(
     return headers, rows
 
 
+#: The four traffic scenarios the service-load bench compares. The first
+#: pair isolates cross-request batching (same FIFO arrival order, merge
+#: on/off); the second pair isolates admission control (same paced
+#: backlog, priority+shedding on/off). Work counters are
+#: machine-independent, so the deltas are CI-gateable.
+SERVICE_LOAD_SCENARIOS = (
+    "per-request",
+    "batched",
+    "no-admission",
+    "admission",
+)
+
+
+def service_load_rows(
+    dataset: str,
+    seed: int = 0,
+    requests: int = 32,
+    tenants: int = 6,
+    burst_length: int = 8,
+    queue_depth: int = 8,
+    pumps_per_burst: int = 4,
+    sweep: Sequence[float] | None = None,
+) -> list[dict[str, object]]:
+    """Gateway load benchmark: throughput and tail latency per scenario.
+
+    Replays one seeded heavy-traffic trace
+    (:func:`repro.gateway.synthesize_traffic`: Zipfian tenants,
+    support-ladder sessions, burst arrivals) through four gateway
+    configurations over cold (warehouse-less) services, so the deltas
+    isolate the gateway's own amortization from the warehouse's — on
+    dense data a warm warehouse's staged recycling can beat one deep
+    mine outright (the paper's thesis), which would confound the
+    batching comparison this bench exists to make:
+
+    * ``per-request`` / ``batched`` — every burst queues, then drains
+      fully; the only difference is cross-request batching. The work
+      delta is batching's amortization: one mine at the burst-minimum
+      support versus a mine-or-recycle per distinct support.
+    * ``no-admission`` / ``admission`` — bursts arrive faster than the
+      gateway pumps (``pumps_per_burst`` < ``burst_length``), so a
+      backlog builds. ``no-admission`` is the naive front end: FIFO,
+      unbounded queue, everything eventually served. ``admission`` is
+      the gateway doing its job: priority lanes, a depth bound of
+      ``queue_depth``, lowest-priority work shed under pressure.
+      Batching is off in both so the latency comparison isolates
+      scheduling and shedding.
+
+    Latency rows carry both bases: wall seconds (machine-dependent,
+    advisory) and **work position** — the gateway's cumulative
+    machine-independent work counter at resolution — which is what the
+    acceptance bars gate on. Every served response is verified
+    bit-identical to a cold from-scratch mine before it counts.
+    """
+    from repro.data.datasets import get_dataset
+    from repro.gateway import (
+        GatewayConfig,
+        MiningGateway,
+        TrafficConfig,
+        bursts,
+        synthesize_traffic,
+    )
+    from repro.service import MiningService
+
+    spec = get_dataset(dataset)
+    db = spec.load(seed)
+    points = sweep if sweep is not None else spec.xi_new_sweep
+    supports = sorted(
+        {db.relative_to_absolute(rel) for rel in points}, reverse=True
+    )
+    trace = synthesize_traffic(
+        db,
+        supports,
+        TrafficConfig(
+            requests=requests,
+            tenants=tenants,
+            seed=seed * 7919 + 13,
+            burst_length=burst_length,
+            deadline_fraction=0.0,
+        ),
+    )
+    arrival_bursts = bursts(trace, gap_threshold_seconds=0.01)
+    expected = {
+        support: run_baseline("hmine", db, support).patterns
+        for support in supports
+    }
+
+    configs = {
+        "per-request": GatewayConfig(batching=False, fifo=True),
+        "batched": GatewayConfig(batching=True, fifo=True),
+        "no-admission": GatewayConfig(batching=False, fifo=True),
+        "admission": GatewayConfig(
+            batching=False, max_queue_depth=queue_depth, shed_on_full=True
+        ),
+    }
+    #: The drain-fully pair vs the paced-backlog pair.
+    paced = {"no-admission", "admission"}
+
+    rows: list[dict[str, object]] = []
+    for scenario in SERVICE_LOAD_SCENARIOS:
+        config = configs[scenario]
+        started = time.perf_counter()
+        with MiningService(
+            warehouse=None, max_workers=1
+        ) as service:
+            gateway = MiningGateway(service, config, start=False)
+            futures = []
+            for burst in arrival_bursts:
+                futures.extend(gateway.submit(req) for req in burst)
+                if scenario in paced:
+                    for _ in range(pumps_per_burst):
+                        gateway.pump_once()
+                else:
+                    gateway.drain()
+            gateway.drain()
+            elapsed = time.perf_counter() - started
+            served = 0
+            for future in futures:
+                outcome = future.result()
+                if outcome.status != "served":
+                    continue
+                served += 1
+                support = outcome.gateway_request.request.absolute_support()
+                if outcome.patterns != expected[support]:
+                    raise BenchmarkError(
+                        f"service-load {dataset} [{scenario}] support="
+                        f"{support}: gateway result disagreed with cold "
+                        "mining"
+                    )
+            stats = gateway.stats
+            computations = service.stats.computations
+            gateway.close()
+        rows.append(
+            {
+                "dataset": dataset,
+                "scenario": scenario,
+                "requests": len(futures),
+                "served": served,
+                "shed": stats.shed,
+                "rejected": stats.rejected,
+                "expired": stats.expired,
+                "computations": computations,
+                "merged_batches": stats.merged_batches,
+                "queue_high_water": stats.queue_high_water,
+                "total_work": stats.work_executed,
+                "work_per_served": (
+                    stats.work_executed / served if served else 0.0
+                ),
+                "interactive_p50_work": stats.work_quantile(
+                    "interactive", 0.50
+                ),
+                "interactive_p99_work": stats.work_quantile(
+                    "interactive", 0.99
+                ),
+                "standard_p99_work": stats.work_quantile("standard", 0.99),
+                "interactive_p99_s": stats.latency_quantile(
+                    "interactive", 0.99
+                ),
+                "elapsed_seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def service_load_benchmark(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """CLI-report wrapper around :func:`service_load_rows`."""
+    headers = [
+        "scenario", "served", "shed", "rejected", "computations",
+        "queue_HWM", "total_work", "work_per_served",
+        "int_p99_work", "int_p99_s", "seconds",
+    ]
+    rows = [
+        [
+            row["scenario"],
+            row["served"],
+            row["shed"],
+            row["rejected"],
+            row["computations"],
+            row["queue_high_water"],
+            row["total_work"],
+            round(float(row["work_per_served"]), 1),
+            row["interactive_p99_work"],
+            row["interactive_p99_s"],
+            row["elapsed_seconds"],
+        ]
+        for row in service_load_rows(dataset, seed)
+    ]
+    return headers, rows
+
+
 #: Byte budget the warehouse bench charges every representation against.
 #: Sized so a dense dataset's condensed entries all fit while its
 #: full-set entries are too large to bank — the regime where the
@@ -867,6 +1058,8 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         return two_step_cold_start(name.rsplit("-", 1)[1], seed)
     if name.startswith("miners-"):
         return miner_sweep(name.split("-", 1)[1], seed)
+    if name.startswith("service-load-"):
+        return service_load_benchmark(name.split("-", 2)[2], seed)
     if name.startswith("service-"):
         return service_benchmark(name.split("-", 1)[1], seed)
     if name.startswith("warehouse-"):
@@ -879,5 +1072,6 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
         "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
         "two-step-<dataset>, miners-<dataset>, service-<dataset>, "
-        "warehouse-<dataset>, grouped-<dataset>, parallel-<dataset>"
+        "service-load-<dataset>, warehouse-<dataset>, grouped-<dataset>, "
+        "parallel-<dataset>"
     )

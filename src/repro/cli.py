@@ -11,6 +11,8 @@ Examples::
     repro bench --experiment table3
     repro miners --kind baseline
     repro serve-batch --workload traffic.json --workers 8 --byte-budget 1000000
+    repro serve-batch --workload traffic.json --gateway --queue-depth 32 \
+        --deadline 5 --priority interactive
     repro warehouse --dir ./wh --verify
 """
 
@@ -161,6 +163,70 @@ def _command_miners(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_through_gateway(args: argparse.Namespace, service, requests) -> None:
+    """Replay a workload through the traffic-management gateway.
+
+    Manual (pumped) mode, so the replay is deterministic: everything is
+    submitted up front — giving cross-request batching the same shot
+    concurrent users would — then the queue drains in priority/fairness
+    order.
+    """
+    from repro.gateway import PRIORITY_CLASSES, GatewayConfig, MiningGateway
+
+    config = GatewayConfig(
+        max_queue_depth=args.queue_depth,
+        batching=not args.no_batching,
+        max_batch_size=args.max_batch,
+        default_priority=args.priority,
+        default_deadline_seconds=args.deadline,
+    )
+    gateway = MiningGateway(service, config, start=False)
+    outcomes = gateway.execute_many(requests)
+    headers = [
+        "tenant", "priority", "status", "support",
+        "path", "batch", "patterns", "work", "seconds",
+    ]
+    rows: list[list[object]] = []
+    for outcome in outcomes:
+        response = outcome.response
+        rows.append(
+            [
+                outcome.tenant,
+                outcome.priority,
+                outcome.status,
+                outcome.gateway_request.request.absolute_support(),
+                response.path if response else "-",
+                f"{outcome.batch_size}@{outcome.batch_support}"
+                if outcome.batched
+                else "-",
+                response.pattern_count if response else "-",
+                response.counters.total_work() if response else "-",
+                response.elapsed_seconds if response else "-",
+            ]
+        )
+    print(render_report(f"serve-batch (gateway): {args.workload}", headers, rows))
+    gauges = gateway.stats.gauges()
+    print(
+        f"gateway: {gauges['gateway_served']:.0f} served / "
+        f"{gauges['gateway_shed']:.0f} shed / "
+        f"{gauges['gateway_rejected']:.0f} rejected / "
+        f"{gauges['gateway_expired']:.0f} expired, "
+        f"queue depth HWM {gauges['gateway_queue_high_water']:.0f}"
+    )
+    print(
+        f"gateway: {gauges['gateway_batches']:.0f} dispatches, "
+        f"{gauges['gateway_merged_batches']:.0f} merged batches covering "
+        f"{gauges['gateway_batched_requests']:.0f} requests, "
+        f"{gauges['gateway_work_executed']:.0f} work executed"
+    )
+    for cls in PRIORITY_CLASSES:
+        p50 = gauges[f"gateway_p50_{cls}_s"]
+        p99 = gauges[f"gateway_p99_{cls}_s"]
+        if p50 or p99:
+            print(f"gateway {cls}: p50 {p50:.4f}s, p99 {p99:.4f}s")
+    gateway.close()
+
+
 def _command_serve_batch(args: argparse.Namespace) -> int:
     from repro.service import MiningService, PatternWarehouse
     from repro.service.workload import load_workload, serve_workload
@@ -188,26 +254,30 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     )
     started = time.perf_counter()
     with MiningService(warehouse=warehouse, max_workers=args.workers) as service:
-        responses = serve_workload(service, requests)
-        elapsed = time.perf_counter() - started
-        headers = [
-            "tenant", "support", "path", "feedstock",
-            "coalesced", "patterns", "work", "seconds",
-        ]
-        rows: list[list[object]] = [
-            [
-                response.tenant,
-                response.absolute_support,
-                response.path,
-                response.feedstock_support if response.feedstock_support else "-",
-                "yes" if response.coalesced else "-",
-                response.pattern_count,
-                response.counters.total_work(),
-                response.elapsed_seconds,
+        if args.gateway:
+            _serve_through_gateway(args, service, requests)
+            elapsed = time.perf_counter() - started
+        else:
+            responses = serve_workload(service, requests)
+            elapsed = time.perf_counter() - started
+            headers = [
+                "tenant", "support", "path", "feedstock",
+                "coalesced", "patterns", "work", "seconds",
             ]
-            for response in responses
-        ]
-        print(render_report(f"serve-batch: {args.workload}", headers, rows))
+            rows: list[list[object]] = [
+                [
+                    response.tenant,
+                    response.absolute_support,
+                    response.path,
+                    response.feedstock_support if response.feedstock_support else "-",
+                    "yes" if response.coalesced else "-",
+                    response.pattern_count,
+                    response.counters.total_work(),
+                    response.elapsed_seconds,
+                ]
+                for response in responses
+            ]
+            print(render_report(f"serve-batch: {args.workload}", headers, rows))
         stats = service.stats.snapshot()
     summary = (
         f"{stats['requests']:.0f} requests in {elapsed:.2f}s — "
@@ -427,6 +497,27 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("full", "closed", "ndi"),
                        help="how the warehouse condenses stored entries "
                             "(default: closed)")
+    serve.add_argument("--gateway", action="store_true",
+                       help="serve through the traffic-management gateway "
+                            "(priority queueing, admission control, "
+                            "cross-request batching)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="gateway admission bound: arrivals beyond this "
+                            "queue depth shed lower-priority work or are "
+                            "rejected (default: unbounded)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds; "
+                            "requests still queued when it elapses are "
+                            "rejected instead of mined")
+    serve.add_argument("--priority", default="standard",
+                       choices=("interactive", "standard", "batch"),
+                       help="default gateway priority class "
+                            "(default: standard)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable cross-request batching in the gateway")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="cap on requests merged into one gateway batch "
+                            "(default: unlimited)")
     serve.set_defaults(handler=_command_serve_batch)
 
     warehouse = commands.add_parser(

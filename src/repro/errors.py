@@ -49,6 +49,10 @@ class ResilienceError(ReproError):
     """Raised for ill-formed resilience configuration (retry, breaker, faults)."""
 
 
+class GatewayError(ReproError):
+    """Raised by the async gateway for ill-formed requests or configuration."""
+
+
 class InjectedFaultError(ReproError):
     """Raised by a firing :class:`repro.resilience.FaultInjector` fault point.
 

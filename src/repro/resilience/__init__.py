@@ -34,8 +34,12 @@ from dataclasses import dataclass
 from repro.resilience.degradation import (
     REASON_CIRCUIT_OPEN,
     REASON_DEADLINE,
+    REASON_DEADLINE_EXPIRED,
     REASON_FEEDSTOCK_QUARANTINED,
+    REASON_GATEWAY_CLOSED,
+    REASON_LOAD_SHED,
     REASON_MERGE_FAILED,
+    REASON_QUEUE_FULL,
     REASON_SHARD_FAILED,
     REASON_WAREHOUSE_READ_FAILED,
     REASON_WORKER_ERROR,
@@ -87,8 +91,12 @@ __all__ = [
     "OPEN",
     "REASON_CIRCUIT_OPEN",
     "REASON_DEADLINE",
+    "REASON_DEADLINE_EXPIRED",
     "REASON_FEEDSTOCK_QUARANTINED",
+    "REASON_GATEWAY_CLOSED",
+    "REASON_LOAD_SHED",
     "REASON_MERGE_FAILED",
+    "REASON_QUEUE_FULL",
     "REASON_SHARD_FAILED",
     "REASON_WAREHOUSE_READ_FAILED",
     "REASON_WORKER_ERROR",

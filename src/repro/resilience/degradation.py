@@ -13,9 +13,10 @@ printed by the CLI.
 
 Reason strings are short machine-readable codes (``circuit_open``,
 ``shard_failed``, ``deadline``, ``merge_failed``, ``worker_error``,
-``feedstock_quarantined``, ``warehouse_read_failed``, ``write_failed``)
-so they aggregate cleanly; human detail belongs in logs and
-``fallback_reason`` fields, not here.
+``feedstock_quarantined``, ``warehouse_read_failed``, ``write_failed``,
+plus the gateway's admission-control codes ``queue_full``, ``load_shed``,
+``deadline_expired`` and ``gateway_closed``) so they aggregate cleanly;
+human detail belongs in logs and ``fallback_reason`` fields, not here.
 """
 
 from __future__ import annotations
@@ -32,6 +33,17 @@ REASON_WORKER_ERROR = "worker_error"
 REASON_FEEDSTOCK_QUARANTINED = "feedstock_quarantined"
 REASON_WAREHOUSE_READ_FAILED = "warehouse_read_failed"
 REASON_WRITE_FAILED = "write_failed"
+#: Gateway admission control: the queue was full and the arrival was
+#: turned away (no lower-priority work was available to shed).
+REASON_QUEUE_FULL = "queue_full"
+#: Gateway admission control: queued lower-priority work was dropped to
+#: admit a higher-priority arrival under saturation.
+REASON_LOAD_SHED = "load_shed"
+#: A request's deadline elapsed while it sat in the gateway queue; the
+#: gateway rejects it instead of mining stale work.
+REASON_DEADLINE_EXPIRED = "deadline_expired"
+#: The gateway shut down with the request still queued.
+REASON_GATEWAY_CLOSED = "gateway_closed"
 
 
 @dataclass(frozen=True)

@@ -35,8 +35,10 @@ Three service-level mechanisms ride on top:
 * **Service statistics.** Every response is folded into a thread-safe
   :class:`ServiceStats`: per-path counts (filter hits / recycles /
   misses), coalesced request count, underlying computation count,
-  latency quantiles (p50/p95), degraded-response counts by reason, and
-  the circuit breaker's live state.
+  latency quantiles (p50/p95/p99 off a fixed-size reservoir, so a
+  long-running service never grows stats memory without bound),
+  degraded-response counts by reason, and the circuit breaker's live
+  state.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ from repro.core.planner import PATH_FILTER, execute_plan, plan_support_path
 from repro.data.transactions import TransactionDatabase
 from repro.errors import ReproError
 from repro.metrics.counters import CostCounters
+from repro.metrics.reservoir import LatencyReservoir
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import has_miner
 from repro.resilience import (
@@ -146,9 +149,10 @@ class ServiceStats:
         self.parallel_fallbacks = 0
         self.degraded = 0
         self._degradation_reasons: dict[str, int] = {}
-        self._latencies: list[float] = []
+        self._latencies = LatencyReservoir()
         self._breaker: CircuitBreaker | None = None
         self._warehouse: PatternWarehouse | None = None
+        self._gauge_sources: list[object] = []
 
     def attach_breaker(self, breaker: CircuitBreaker) -> None:
         """Surface a circuit breaker's live state in :meth:`snapshot`."""
@@ -157,6 +161,17 @@ class ServiceStats:
     def attach_warehouse(self, warehouse: PatternWarehouse) -> None:
         """Surface warehouse storage gauges in :meth:`snapshot`."""
         self._warehouse = warehouse
+
+    def attach_gauges(self, source: object) -> None:
+        """Merge an external gauge source into :meth:`snapshot`.
+
+        ``source`` is anything with a ``gauges() -> dict[str, float]``
+        method. The gateway attaches its :class:`~repro.gateway.stats.
+        GatewayStats` here, so one snapshot carries the request ledger,
+        the warehouse economics and the queue's live state without the
+        service layer importing the gateway above it.
+        """
+        self._gauge_sources.append(source)
 
     def record(self, response: MineResponse) -> None:
         with self._lock:
@@ -185,16 +200,17 @@ class ServiceStats:
                     self._degradation_reasons[label] = (
                         self._degradation_reasons.get(label, 0) + 1
                     )
-            self._latencies.append(response.elapsed_seconds)
+            self._latencies.add(response.elapsed_seconds)
 
     def latency_quantile(self, q: float) -> float:
-        """The q-quantile (0 < q <= 1) of recorded latencies (0.0 if none)."""
+        """The q-quantile (0 < q <= 1) of recorded latencies (0.0 if none).
+
+        Read off a fixed-size :class:`~repro.metrics.LatencyReservoir`
+        — exact while the service has seen fewer observations than the
+        reservoir holds, a uniform sample after.
+        """
         with self._lock:
-            if not self._latencies:
-                return 0.0
-            ordered = sorted(self._latencies)
-            index = max(0, min(len(ordered) - 1, round(q * len(ordered)) - 1))
-            return ordered[index]
+            return self._latencies.quantile(q)
 
     def path_rates(self) -> dict[str, float]:
         """Per-path (and degraded) request fractions, safe on an empty window.
@@ -226,11 +242,15 @@ class ServiceStats:
             )
 
     def snapshot(self) -> dict[str, float]:
-        """All aggregates as a plain dict (latencies as p50/p95)."""
+        """All aggregates as a plain dict (latencies as p50/p95/p99)."""
         p50 = self.latency_quantile(0.50)
         p95 = self.latency_quantile(0.95)
+        p99 = self.latency_quantile(0.99)
         rates = self.path_rates()
         warehouse_gauges = self._warehouse_snapshot()
+        external_gauges: dict[str, float] = {}
+        for source in list(self._gauge_sources):
+            external_gauges.update(source.gauges())
         with self._lock:
             breaker = (
                 self._breaker.snapshot()
@@ -257,7 +277,9 @@ class ServiceStats:
                 "breaker_trips": float(breaker["trips"]),
                 "latency_p50_s": p50,
                 "latency_p95_s": p95,
+                "latency_p99_s": p99,
                 **warehouse_gauges,
+                **external_gauges,
             }
 
     def _warehouse_snapshot(self) -> dict[str, float]:

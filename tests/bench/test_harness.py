@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     memory_limited_figure,
     run_experiment,
     service_benchmark,
+    service_load_rows,
     table3,
     two_step_cold_start,
 )
@@ -108,6 +109,71 @@ class TestExperimentShapes:
             run_experiment("fig99")
         with pytest.raises(BenchmarkError, match="unknown experiment"):
             run_experiment("nonsense")
+
+    def test_service_load_smoke(self):
+        """Tiny-scale gateway load bench: the acceptance signals must
+        already show at smoke scale — batching reduces work and
+        computations, admission bounds the queue, nothing goes missing."""
+        rows = service_load_rows(
+            "connect4",
+            requests=12,
+            tenants=3,
+            burst_length=4,
+            queue_depth=4,
+            pumps_per_burst=2,
+            sweep=(0.93, 0.91),
+        )
+        by_scenario = {row["scenario"]: row for row in rows}
+        assert set(by_scenario) == {
+            "per-request", "batched", "no-admission", "admission",
+        }
+        assert (
+            by_scenario["batched"]["total_work"]
+            < by_scenario["per-request"]["total_work"]
+        )
+        assert (
+            by_scenario["batched"]["computations"]
+            < by_scenario["per-request"]["computations"]
+        )
+        assert by_scenario["admission"]["queue_high_water"] <= 4
+        assert by_scenario["no-admission"]["queue_high_water"] > 4
+        for row in rows:
+            accounted = (
+                row["served"] + row["shed"] + row["rejected"] + row["expired"]
+            )
+            assert accounted == row["requests"] == 12
+
+    def test_service_load_dispatch(self, monkeypatch):
+        """``service-load-<ds>`` must route past the ``service-`` prefix
+        to the load benchmark (full-scale runs are bench territory)."""
+        import repro.bench.experiments as experiments
+
+        seen = {}
+
+        def fake_rows(dataset, seed=0, **kwargs):
+            seen["dataset"] = dataset
+            return [
+                {
+                    "scenario": "per-request",
+                    "served": 0,
+                    "shed": 0,
+                    "rejected": 0,
+                    "computations": 0,
+                    "merged_batches": 0,
+                    "queue_high_water": 0,
+                    "total_work": 0,
+                    "work_per_served": 0.0,
+                    "interactive_p99_work": 0.0,
+                    "interactive_p99_s": 0.0,
+                    "elapsed_seconds": 0.0,
+                }
+            ]
+
+        monkeypatch.setattr(experiments, "service_load_rows", fake_rows)
+        headers, rows = run_experiment("service-load-connect4", seed=0)
+        assert seen["dataset"] == "connect4"
+        assert headers[0] == "scenario"
+        assert rows[0][0] == "per-request"
 
     def test_service_benchmark_warm_beats_cold(self):
         headers, rows = service_benchmark("connect4", tenants=2, sweep=(0.93, 0.91))

@@ -109,6 +109,66 @@ def test_chaos_run_returns_only_exact_answers(profile, tmp_path):
 
 
 @pytest.mark.parametrize("profile", ACTIVE_PROFILES)
+def test_chaos_gateway_batches_survive_faults(profile, tmp_path):
+    """The gateway leg: faults firing under a non-empty queue must not
+    bend batched serving — every served response still matches the
+    fault-free serial answer, and nothing is silently dropped."""
+    from repro.gateway import MiningGateway
+
+    db = quest_database(
+        QuestParams(n_transactions=100, n_items=30, avg_transaction_length=6),
+        seed=SEED,
+    )
+    expected = {support: mine_hmine(db, support) for support in set(SUPPORTS)}
+    faults = chaos_injector(profile)
+    retry = RetryPolicy(
+        max_attempts=3,
+        base_delay_seconds=0.001,
+        max_delay_seconds=0.01,
+        jitter_fraction=0.25,
+    )
+    warehouse = PatternWarehouse(directory=tmp_path, fault_injector=faults)
+
+    def factory(jobs, shard_feedstock, on_shard_result):
+        from repro.parallel import ParallelEngine
+
+        return ParallelEngine(
+            jobs,
+            executor="inline",
+            timeout_seconds=0.05 if profile == "slow" else None,
+            shard_feedstock=shard_feedstock,
+            on_shard_result=on_shard_result,
+            retry_policy=retry,
+            fault_injector=faults,
+        )
+
+    with MiningService(
+        warehouse=warehouse,
+        parallel_engine_factory=factory,
+        resilience=ResilienceConfig(retry=retry, faults=faults),
+    ) as service:
+        gateway = MiningGateway(service, start=False)
+        # The whole ladder queues before anything dispatches, so faults
+        # hit the shared batched computation, not isolated requests.
+        futures = [
+            gateway.submit(MineRequest(db=db, support=support, jobs=2))
+            for support in SUPPORTS
+        ]
+        gateway.drain()
+        for future, support in zip(futures, SUPPORTS):
+            response = future.result()
+            assert response.status == "served"
+            assert response.patterns == expected[support], (
+                f"profile={profile} seed={SEED} support={support} "
+                f"batched={response.batched} "
+                f"(degradation: "
+                f"{response.degradation.describe() or 'none'})"
+            )
+        assert gateway.stats.served == len(SUPPORTS)
+        gateway.close()
+
+
+@pytest.mark.parametrize("profile", ACTIVE_PROFILES)
 def test_chaos_reload_after_corruption_serves_survivors(profile, tmp_path):
     """A warehouse directory that survived a chaos run (possibly with
     files corrupted on disk) reloads, quarantining instead of failing."""

@@ -84,7 +84,90 @@ class TestParsing:
             load_workload(tmp_path / "absent.json")
 
 
+class TestSupportConvention:
+    def test_float_and_int_supports_round_trip_through_json(self, tmp_path):
+        """A JSON float must stay a relative fraction and a JSON int an
+        absolute count through a file round-trip — the parser must not
+        coerce either way."""
+        spec = _spec()
+        spec["requests"] = [
+            {"tenant": "rel", "support": 0.5},
+            {"tenant": "abs", "support": 5},
+        ]
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        relative, absolute = load_workload(path)
+        assert isinstance(relative.support, float) and relative.support == 0.5
+        assert isinstance(absolute.support, int) and absolute.support == 5
+        assert absolute.absolute_support() == 5
+        # ceil(0.5 * |db|): resolved through the database, not the parser.
+        assert relative.absolute_support() == -(-len(relative.db) // 2)
+
+    def test_whole_valued_float_stays_relative(self):
+        """``1.0`` means "all transactions" (relative), not "count 1"."""
+        spec = _spec()
+        spec["requests"] = [{"support": 1.0}]
+        request = parse_workload(spec)[0]
+        assert isinstance(request.support, float)
+        assert request.absolute_support() == len(request.db)
+
+    def test_boolean_support_rejected(self):
+        spec = _spec()
+        spec["requests"] = [{"support": True}]
+        with pytest.raises(DataError, match="must be a number"):
+            parse_workload(spec)
+
+
+class TestParsingEdgeCases:
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(DataError, match="JSON object"):
+            parse_workload(["not", "a", "dict"])
+
+    def test_non_object_request_entry_rejected(self):
+        spec = _spec()
+        spec["requests"] = ["oops"]
+        with pytest.raises(DataError, match="must be an object"):
+            parse_workload(spec)
+
+    def test_missing_tenant_defaults_stay_distinct_per_index(self):
+        spec = _spec()
+        spec["requests"] = [{"support": 0.5}, {"support": 0.4}]
+        tenants = [r.tenant for r in parse_workload(spec)]
+        assert tenants == ["user-0", "user-1"]
+        assert len(set(tenants)) == 2  # fairness needs distinct identities
+
+    def test_per_request_seed_materializes_a_distinct_database(self):
+        spec = _spec()
+        spec["requests"].append({"tenant": "dana", "support": 0.5, "seed": 9})
+        requests = parse_workload(spec)
+        assert requests[2].db is not requests[0].db
+        assert requests[2].db.fingerprint() != requests[0].db.fingerprint()
+
+    def test_jobs_default_and_override(self):
+        spec = _spec(jobs=2)
+        spec["requests"].append({"tenant": "erin", "support": 0.5, "jobs": 1})
+        requests = parse_workload(spec)
+        assert [r.jobs for r in requests] == [2, 2, 1]
+
+
 class TestReplay:
+    def test_replay_is_deterministic_across_runs(self):
+        """Two replays of the same trace return responses in the same
+        arrival order with identical pattern sets, workers or not."""
+        requests = parse_workload(_spec())
+
+        def run():
+            with MiningService(
+                warehouse=PatternWarehouse(), max_workers=4
+            ) as service:
+                return serve_workload(service, requests)
+
+        first, second = run(), run()
+        assert [r.tenant for r in first] == [r.tenant for r in second]
+        for a, b in zip(first, second):
+            assert a.patterns == b.patterns
+            assert a.absolute_support == b.absolute_support
+
     def test_replay_is_exact_and_ordered(self):
         requests = parse_workload(_spec())
         with MiningService(warehouse=PatternWarehouse(), max_workers=2) as service:

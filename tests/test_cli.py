@@ -214,6 +214,53 @@ class TestServeBatch:
         assert code == 0
         assert "condensation" not in capsys.readouterr().out
 
+    def test_gateway_mode_prints_gauges_and_batches(
+        self, workload_file, capsys
+    ):
+        code = main(
+            [
+                "serve-batch", "--workload", str(workload_file),
+                "--gateway", "--queue-depth", "8",
+                "--priority", "interactive",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-batch (gateway)" in out
+        assert "queue depth HWM" in out
+        assert "merged batches" in out
+        assert "gateway interactive: p50" in out
+        # All three tenants queued together → one merged batch.
+        assert "1 merged batches covering 3 requests" in out
+
+    def test_gateway_admission_rejects_overflow(self, workload_file, capsys):
+        code = main(
+            [
+                "serve-batch", "--workload", str(workload_file),
+                "--gateway", "--queue-depth", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 rejected" in out
+        status_rows = [
+            line
+            for line in out.splitlines()
+            if " rejected " in line and not line.startswith("gateway:")
+        ]
+        assert len(status_rows) == 2  # per-request status rows
+
+    def test_gateway_no_batching_serves_singly(self, workload_file, capsys):
+        code = main(
+            [
+                "serve-batch", "--workload", str(workload_file),
+                "--gateway", "--no-batching",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 dispatches, 0 merged batches" in out
+
 
 class TestWarehouseCommand:
     @pytest.fixture

@@ -2,7 +2,8 @@
 
 The package layers one way (see docs/architecture.md):
 
-    repro.data  ->  repro.core / repro.mining / repro.storage  ->  repro.service
+    repro.data  ->  repro.core / repro.mining / repro.storage
+                ->  repro.service  ->  repro.gateway  ->  repro.bench
 
 Concretely: ``repro.data`` must import nothing from the layers above it,
 and ``repro.core`` must never reach up into ``repro.service``. The check
@@ -33,27 +34,46 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 #: injector, retry machinery and degradation ladder can be threaded
 #: through parallel/core/service without cycles), and conversely the
 #: bottom layers must not grow a dependency on it.
+#: ``repro.gateway`` sits strictly above ``repro.service``: the service
+#: must never import it (gateway gauges flow down through the duck-typed
+#: ``ServiceStats.attach_gauges``), and the gateway itself must stay
+#: below ``repro.bench`` — benchmarks drive the gateway, never the
+#: reverse.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.data": (
         "repro.core",
+        "repro.gateway",
         "repro.mining",
         "repro.parallel",
         "repro.resilience",
         "repro.service",
         "repro.storage",
     ),
-    "repro.core": ("repro.service",),
-    "repro.mining": ("repro.parallel", "repro.resilience", "repro.service"),
-    "repro.storage": ("repro.parallel", "repro.resilience", "repro.service"),
-    "repro.parallel": ("repro.service",),
+    "repro.core": ("repro.gateway", "repro.service"),
+    "repro.mining": (
+        "repro.gateway",
+        "repro.parallel",
+        "repro.resilience",
+        "repro.service",
+    ),
+    "repro.storage": (
+        "repro.gateway",
+        "repro.parallel",
+        "repro.resilience",
+        "repro.service",
+    ),
+    "repro.parallel": ("repro.gateway", "repro.service"),
     "repro.resilience": (
         "repro.core",
         "repro.data",
+        "repro.gateway",
         "repro.mining",
         "repro.parallel",
         "repro.service",
         "repro.storage",
     ),
+    "repro.service": ("repro.gateway",),
+    "repro.gateway": ("repro.bench",),
 }
 
 
