@@ -1,96 +1,51 @@
-"""Incremental update: recycling vs the FUP baseline (paper Section 6).
+"""Incremental update: FUP vs recycle-update vs scratch (paper Section 6).
 
 The paper argues recycling subsumes incremental techniques without their
-failure modes. This benchmark stages three update scenarios on a Quest
-workload and runs both FUP (the classic incremental baseline) and
-recycling (HM-MCP over the grown database), verifying both against a
-from-scratch re-mine:
+failure modes. This benchmark runs the shared ``incremental-<dataset>``
+experiment leg (:func:`repro.bench.experiments.incremental_rows`): an
+insert-only churn sweep at constant relative support — FUP's home turf —
+where every contender is verified bit-identical to a from-scratch
+re-mine before its work and wall costs count. The second test covers the
+turf FUP *cannot* stand on: a support drop and a deletion delta, where
+:func:`repro.core.fup.fup_applicable` must refuse so the planner falls
+back to the recycling-based update (which just runs).
 
-* **steady growth** — FUP's home turf (same relative support);
-* **support drop** — the threshold relaxes with the update; FUP's
-  pruning precondition breaks, so it must fall back to scratch mining
-  (reported as such), while recycling just runs;
-* **shrink** — tuples deleted; FUP is undefined, recycling just runs.
+The standalone ``bench_incremental.py`` runner replays the same sweep on
+the dense acceptance dataset and writes ``BENCH_incremental.json``.
 """
 
 from __future__ import annotations
 
-import time
-
 import pytest
 from conftest import run_and_report
 
-from repro.core.fup import fup_update
-from repro.core.incremental import apply_deletions, apply_insertions, incremental_mine
-from repro.data.synthetic import QuestParams, quest_database
-from repro.mining.hmine import mine_hmine
-
-_PARAMS = QuestParams(
-    n_transactions=1500, n_items=120, avg_transaction_length=9,
-    n_patterns=40, avg_pattern_length=5,
-)
+from repro.bench.experiments import INCREMENTAL_CHURNS, incremental_benchmark
+from repro.core.fup import fup_applicable
+from repro.data.versioned import DatabaseDelta
 
 
-def _scenario_rows():
-    base = quest_database(_PARAMS, seed=3)
-    increment = quest_database(
-        QuestParams(n_transactions=500, n_items=120, avg_transaction_length=9,
-                    n_patterns=40, avg_pattern_length=5),
-        seed=4,
-    )
-    rows: list[list[object]] = []
-
-    def run(label, new_db, xi_old, xi_new, fup_applicable, old_db=None):
-        old_patterns = mine_hmine(old_db if old_db is not None else base, xi_old)
-        started = time.perf_counter()
-        scratch = mine_hmine(new_db, xi_new)
-        scratch_s = time.perf_counter() - started
-
-        started = time.perf_counter()
-        recycled = incremental_mine(new_db, old_patterns, xi_new)
-        recycle_s = time.perf_counter() - started
-        assert recycled == scratch
-
-        if fup_applicable:
-            started = time.perf_counter()
-            fup = fup_update(base, increment, old_patterns, xi_new)
-            fup_s = time.perf_counter() - started
-            assert fup == scratch
-            fup_cell: object = fup_s
-        else:
-            fup_cell = "n/a"
-        rows.append([label, xi_old, xi_new, len(scratch), scratch_s, recycle_s, fup_cell])
-
-    # Steady growth, constant 1.5% relative support.
-    grown = apply_insertions(base, increment.transactions)
-    run("growth, same rel. support", grown,
-        xi_old=max(1, int(0.015 * len(base))),
-        xi_new=max(1, int(0.015 * len(grown))),
-        fup_applicable=True)
-
-    # Growth plus a support drop: FUP's precondition fails.
-    run("growth + support drop", grown,
-        xi_old=max(1, int(0.015 * len(base))),
-        xi_new=max(1, int(0.006 * len(grown))),
-        fup_applicable=False)
-
-    # Shrink: FUP undefined, recycling indifferent.
-    shrunk = apply_deletions(base, tids=list(base.tids[:500]))
-    run("shrink (500 tuples deleted)", shrunk,
-        xi_old=max(1, int(0.015 * len(base))),
-        xi_new=max(1, int(0.015 * len(shrunk))),
-        fup_applicable=False)
-
-    headers = ["scenario", "xi_old", "xi_new", "patterns",
-               "scratch_s", "recycle_s", "fup_s"]
-    return headers, rows
-
-
-def test_incremental_baselines(benchmark):
+def test_incremental_update_paths(benchmark):
     headers, rows = run_and_report(
-        benchmark, "Incremental update — recycling vs FUP", _scenario_rows
+        benchmark,
+        "Incremental update — FUP vs recycle-update vs scratch",
+        incremental_benchmark,
+        "weather",
     )
-    assert len(rows) == 3
-    # FUP only competes in the first scenario.
-    assert rows[1][6] == "n/a"
-    assert rows[2][6] == "n/a"
+    assert len(rows) == len(INCREMENTAL_CHURNS)
+    winner_column = headers.index("winner")
+    # Every row's winner is one of the verified contenders.
+    assert all(row[winner_column] in ("scratch", "fup", "recycle") for row in rows)
+
+
+@pytest.mark.parametrize(
+    ("delta", "feedstock_support", "new_support", "reason"),
+    [
+        # Support drop: the relaxed threshold admits patterns the old run
+        # never materialized; FUP's pruning lemma cannot recover them.
+        (DatabaseDelta.append([[1, 2], [2, 3]]), 150, 30, "support drop"),
+        # Deletion: old supports only bound inserted rows.
+        (DatabaseDelta.delete([0, 1, 2]), 100, 100, "deletion delta"),
+    ],
+)
+def test_fup_refuses_off_turf(delta, feedstock_support, new_support, reason):
+    assert not fup_applicable(delta, feedstock_support, new_support, 1000), reason

@@ -1037,6 +1037,180 @@ def parallel_benchmark(
     return headers, rows
 
 
+#: Delta sizes (fraction of the base database appended) swept by the
+#: incremental experiment: from warehouse-refresh-sized trickles to a
+#: bulk load where re-mining should win.
+INCREMENTAL_CHURNS: tuple[float, ...] = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
+
+
+def incremental_rows(
+    dataset: str,
+    seed: int = 0,
+    churns: Sequence[float] | None = None,
+) -> list[dict[str, object]]:
+    """Update-path economics: FUP vs recycle-update vs scratch per churn.
+
+    For each churn level an insert-only delta of ``churn * |db|``
+    transactions (drawn cyclically from the base database, so the
+    distribution is preserved and the sweep is deterministic) is applied
+    at *constant relative support* — the threshold grows with the
+    database, FUP's home-turf precondition. Three contenders re-derive
+    the post-update pattern set:
+
+    * **scratch** — H-Mine on the grown database (the cold baseline);
+    * **fup** — :func:`~repro.core.fup.fup_update_delta`, scanning only
+      the increment for surviving patterns and holding newcomers to the
+      delta threshold — run only when :func:`~repro.core.fup.
+      fup_applicable` certifies the feedstock/threshold pair (``fup_work
+      = None`` otherwise, mirroring how the planner would refuse the
+      mode);
+    * **recycle** — :func:`~repro.core.incremental.incremental_mine`,
+      compressing the grown database with the old patterns and running
+      a recycling miner.
+
+    Every contender is checked bit-identical to scratch before it
+    counts. Both machine-independent work (``CostCounters.total_work``)
+    and wall seconds are recorded; the ``winner`` column is decided on
+    work. Each row also replays the same update through a warehoused
+    :class:`~repro.service.MiningService` with the version chain
+    attached and reports whether the service actually served the
+    post-delta request on the ``update`` path.
+    """
+    from repro.core.fup import fup_applicable, fup_update_delta
+    from repro.core.incremental import incremental_mine
+    from repro.data.versioned import DatabaseDelta, VersionedDatabase
+    from repro.metrics.counters import CostCounters
+    from repro.mining.hmine import mine_hmine
+    from repro.service import MineRequest, MiningService, PatternWarehouse
+
+    workload = prepare_workload(dataset, seed)
+    db = workload.db
+    old_support = workload.xi_old_absolute
+    old_patterns = workload.old_patterns
+    base_rows = db.transactions
+    rows: list[dict[str, object]] = []
+    for churn in churns or INCREMENTAL_CHURNS:
+        delta_size = max(1, int(churn * len(db)))
+        appended = tuple(
+            base_rows[index % len(base_rows)] for index in range(delta_size)
+        )
+        delta = DatabaseDelta.append(appended)
+        v0 = VersionedDatabase.initial(db)
+        v1 = v0.apply(delta)
+        new_db = v1.db
+        # Constant relative support: the threshold the feedstock was
+        # mined at, rescaled to the grown database.
+        new_support = max(1, int(workload.spec.xi_old * len(new_db)))
+
+        scratch_counters = CostCounters()
+        started = time.perf_counter()
+        scratch = mine_hmine(new_db, new_support, scratch_counters)
+        scratch_wall = time.perf_counter() - started
+
+        works: dict[str, int] = {"scratch": scratch_counters.total_work()}
+        fup_wall: float | None = None
+        if fup_applicable(delta, old_support, new_support, len(db)):
+            fup_counters = CostCounters()
+            started = time.perf_counter()
+            fup = fup_update_delta(
+                db, delta, old_patterns, new_support, fup_counters
+            )
+            fup_wall = round(time.perf_counter() - started, 4)
+            if fup != scratch:
+                raise BenchmarkError(
+                    f"incremental {dataset} churn={churn}: "
+                    "FUP disagreed with scratch"
+                )
+            works["fup"] = fup_counters.total_work()
+
+        recycle_counters = CostCounters()
+        started = time.perf_counter()
+        recycled = incremental_mine(
+            new_db, old_patterns, new_support, counters=recycle_counters
+        )
+        recycle_wall = time.perf_counter() - started
+        if recycled != scratch:
+            raise BenchmarkError(
+                f"incremental {dataset} churn={churn}: "
+                "recycle-update disagreed with scratch"
+            )
+        works["recycle"] = recycle_counters.total_work()
+        winner = min(works, key=works.get)
+
+        update_hits = 0
+        with MiningService(warehouse=PatternWarehouse()) as service:
+            service.execute(MineRequest(db=db, support=old_support, version=v0))
+            response = service.execute(
+                MineRequest(db=new_db, support=new_support, version=v1)
+            )
+            if response.patterns != scratch:
+                raise BenchmarkError(
+                    f"incremental {dataset} churn={churn}: "
+                    "service update path disagreed with scratch"
+                )
+            if response.path == "update":
+                update_hits += 1
+        rows.append(
+            {
+                "dataset": dataset,
+                "churn": churn,
+                "delta_rows": delta_size,
+                "old_support": old_support,
+                "new_support": new_support,
+                "patterns": len(scratch),
+                "scratch_work": works["scratch"],
+                "scratch_wall_s": round(scratch_wall, 4),
+                "fup_work": works.get("fup"),
+                "fup_wall_s": fup_wall,
+                "recycle_work": works["recycle"],
+                "recycle_wall_s": round(recycle_wall, 4),
+                "winner": winner,
+                "update_path_hits": update_hits,
+                "update_path_requests": 1,
+            }
+        )
+    return rows
+
+
+def incremental_crossover(rows: Sequence[dict[str, object]]) -> float | None:
+    """The smallest swept churn at which scratch mining wins on work.
+
+    ``None`` when the update path won everywhere — an honest record
+    either way, written into ``BENCH_incremental.json``.
+    """
+    for row in sorted(rows, key=lambda r: r["churn"]):
+        if row["winner"] == "scratch":
+            return float(row["churn"])
+    return None
+
+
+def incremental_benchmark(
+    dataset: str, seed: int = 0
+) -> tuple[list[str], list[list[object]]]:
+    """CLI-report wrapper around :func:`incremental_rows`."""
+    headers = [
+        "churn", "delta_rows", "patterns", "scratch_work", "fup_work",
+        "recycle_work", "winner", "scratch_s", "fup_s", "recycle_s", "update_hit",
+    ]
+    rows = [
+        [
+            row["churn"],
+            row["delta_rows"],
+            row["patterns"],
+            row["scratch_work"],
+            row["fup_work"] if row["fup_work"] is not None else "n/a",
+            row["recycle_work"],
+            row["winner"],
+            row["scratch_wall_s"],
+            row["fup_wall_s"] if row["fup_wall_s"] is not None else "n/a",
+            row["recycle_wall_s"],
+            f"{row['update_path_hits']}/{row['update_path_requests']}",
+        ]
+        for row in incremental_rows(dataset, seed)
+    ]
+    return headers, rows
+
+
 def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[object]]]:
     """Dispatch an experiment by CLI-friendly name."""
     if name == "table3":
@@ -1068,10 +1242,12 @@ def run_experiment(name: str, seed: int = 0) -> tuple[list[str], list[list[objec
         return grouped_kernel_benchmark(name.split("-", 1)[1], seed)
     if name.startswith("parallel-"):
         return parallel_benchmark(name.split("-", 1)[1], seed)
+    if name.startswith("incremental-"):
+        return incremental_benchmark(name.split("-", 1)[1], seed)
     raise BenchmarkError(
         f"unknown experiment {name!r} — try table3, fig9..fig24, observations, "
         "ablation-strategies-<dataset>, ablation-shortcut-<dataset>, "
         "two-step-<dataset>, miners-<dataset>, service-<dataset>, "
         "service-load-<dataset>, warehouse-<dataset>, grouped-<dataset>, "
-        "parallel-<dataset>"
+        "parallel-<dataset>, incremental-<dataset>"
     )

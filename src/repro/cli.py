@@ -1,5 +1,5 @@
-"""Command-line interface: ``repro mine | recycle | compress | bench | miners |
-serve-batch | warehouse``.
+"""Command-line interface: ``repro mine | recycle | update | compress | bench |
+miners | serve-batch | warehouse``.
 
 Examples::
 
@@ -7,6 +7,7 @@ Examples::
     repro mine --input data.dat --support 100 --algorithm fpgrowth \
         --output patterns.txt
     repro recycle --dataset weather --old-support 0.05 --support 0.02
+    repro update --dataset weather --support 0.05 --append new.dat --delete 0,7
     repro compress --dataset connect4 --old-support 0.95 --strategy mlp
     repro bench --experiment table3
     repro miners --kind baseline
@@ -146,6 +147,74 @@ def _command_recycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update(args: argparse.Namespace) -> int:
+    """Mine, evolve the database by a delta, and re-mine via the update path."""
+    from repro.core.session import MiningSession
+
+    db = _load_database(args)
+    if not args.append and not args.delete:
+        raise ReproError("provide --append and/or --delete to form a delta")
+    session = MiningSession(
+        db,
+        algorithm=args.algorithm,
+        strategy=args.strategy,
+        backend=args.backend,
+    )
+    session.mine(args.support)
+    first = session.last_report
+    print(
+        f"initial: {first.pattern_count} patterns at support "
+        f"{first.absolute_support} in {first.elapsed_seconds:.2f}s "
+        f"(work {first.counters.total_work()})"
+    )
+    appended = deleted = 0
+    if args.append:
+        batch = read_transactions(args.append).transactions
+        session.append_batch(batch)
+        appended = len(batch)
+    if args.delete:
+        try:
+            tids = [int(part) for part in args.delete.split(",") if part.strip()]
+        except ValueError:
+            raise ReproError(
+                f"--delete must be a comma-separated tid list, got {args.delete!r}"
+            ) from None
+        session.delete_tids(tids)
+        deleted = len(tids)
+    churn = (appended + deleted) / max(1, len(session.db))
+    print(f"delta: +{appended}/-{deleted} rows against {len(session.db)} "
+          f"current rows (churn {churn:.1%})")
+    patterns = session.mine(args.support)
+    report = session.last_report
+    mode = f" mode={report.update_mode}" if report.update_mode else ""
+    print(
+        f"re-mine: path={report.path}{mode}, {len(patterns)} patterns in "
+        f"{report.elapsed_seconds:.2f}s (work {report.counters.total_work()})"
+    )
+    scratch = CostCounters()
+    miner = get_miner(
+        args.algorithm if args.algorithm != "naive" else "hmine", kind="baseline"
+    ).fn
+    scratch_patterns = miner(
+        session.db, _absolute_support(session.db, args.support), scratch
+    )
+    if scratch_patterns != patterns:
+        raise ReproError("update path diverged from scratch mining")
+    update_work = report.counters.total_work()
+    scratch_work = scratch.total_work()
+    if scratch_work > 0 and update_work < scratch_work:
+        print(
+            f"scratch re-mine work {scratch_work} — update path saved "
+            f"{1 - update_work / scratch_work:.1%} (verified identical)"
+        )
+    else:
+        print(
+            f"scratch re-mine work {scratch_work} — update path cost more "
+            "at this churn (verified identical)"
+        )
+    return 0
+
+
 def _command_miners(args: argparse.Namespace) -> int:
     headers = ["name", "kind", "backend", "input", "memory-budget", "description"]
     rows: list[list[object]] = [
@@ -228,20 +297,20 @@ def _serve_through_gateway(args: argparse.Namespace, service, requests) -> None:
 
 
 def _command_serve_batch(args: argparse.Namespace) -> int:
-    from repro.service import MiningService, PatternWarehouse
-    from repro.service.workload import load_workload, serve_workload
+    from repro.service import DeltaOp, MineRequest, MiningService, PatternWarehouse
+    from repro.service.workload import load_workload_items, serve_workload
 
-    requests = load_workload(args.workload)
+    items = load_workload_items(args.workload)
     if args.jobs > 1:
         import dataclasses
 
         # The CLI value is a default: requests that set their own jobs
-        # in the workload file keep it.
-        requests = [
-            dataclasses.replace(request, jobs=args.jobs)
-            if request.jobs == 1
-            else request
-            for request in requests
+        # in the workload file keep it. Delta operations pass through.
+        items = [
+            dataclasses.replace(item, jobs=args.jobs)
+            if isinstance(item, MineRequest) and item.jobs == 1
+            else item
+            for item in items
         ]
     warehouse = (
         None
@@ -255,10 +324,20 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     with MiningService(warehouse=warehouse, max_workers=args.workers) as service:
         if args.gateway:
-            _serve_through_gateway(args, service, requests)
+            # The gateway consumes mining requests only; database
+            # operations are registered on the service first so the
+            # warehouse knows every request's chain lineage.
+            mine_requests: list[MineRequest] = []
+            for item in items:
+                if isinstance(item, DeltaOp):
+                    service.register_version(item.version)
+                    service.stats.record_delta_applied()
+                else:
+                    mine_requests.append(item)
+            _serve_through_gateway(args, service, mine_requests)
             elapsed = time.perf_counter() - started
         else:
-            responses = serve_workload(service, requests)
+            responses = serve_workload(service, items)
             elapsed = time.perf_counter() - started
             headers = [
                 "tenant", "support", "path", "feedstock",
@@ -282,10 +361,18 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     summary = (
         f"{stats['requests']:.0f} requests in {elapsed:.2f}s — "
         f"{stats['filter_hits']:.0f} filter / {stats['recycles']:.0f} recycle / "
+        f"{stats['updates']:.0f} update / "
         f"{stats['misses']:.0f} mine, {stats['coalesced']:.0f} coalesced, "
         f"p50 {stats['latency_p50_s']:.4f}s, p95 {stats['latency_p95_s']:.4f}s"
     )
     print(summary)
+    if stats["deltas_applied"] or stats["updates"]:
+        print(
+            f"incremental: {stats['deltas_applied']:.0f} deltas applied, "
+            f"{stats['versions_registered']:.0f} versions registered, "
+            f"{stats['updates']:.0f} update-path responses "
+            f"(rate {stats['update_rate']:.2f})"
+        )
     if stats["parallel_runs"] or stats["parallel_fallbacks"]:
         print(
             f"parallel: {stats['parallel_runs']:.0f} sharded runs, "
@@ -466,12 +553,32 @@ def build_parser() -> argparse.ArgumentParser:
     recycle.add_argument("--output", help="write patterns to this file")
     recycle.set_defaults(handler=_command_recycle)
 
+    update = commands.add_parser(
+        "update",
+        help="mine, evolve the database by a delta (append/delete), and "
+             "re-mine through the incremental update path",
+    )
+    _add_common_arguments(update)
+    update.add_argument("--support", type=float, required=True,
+                        help="min support (fraction <= 1.0, or absolute count)")
+    update.add_argument("--append",
+                        help="FIMI-format file of transactions to append")
+    update.add_argument("--delete",
+                        help="comma-separated tids to delete")
+    update.add_argument("--algorithm", default="hmine",
+                        choices=(*miner_names("baseline"), "naive"))
+    update.add_argument("--strategy", default="mcp", choices=("mcp", "mlp"))
+    update.add_argument("--backend", default="bitset",
+                        choices=("bitset", "python"),
+                        help="group-claiming / mining backend")
+    update.set_defaults(handler=_command_update)
+
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument("--experiment", required=True,
                        help="table3, fig9..fig24, observations, "
                             "ablation-strategies-<ds>, ablation-shortcut-<ds>, "
                             "two-step-<ds>, miners-<ds>, service-<ds>, "
-                            "warehouse-<ds>, grouped-<ds>")
+                            "warehouse-<ds>, grouped-<ds>, incremental-<ds>")
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_command_bench)
 

@@ -27,7 +27,7 @@ from repro.core.recycle import (
     recycle_mine,
     recycle_mine_detailed,
 )
-from repro.core.fup import fup_update
+from repro.core.fup import fup_applicable, fup_update, fup_update_delta
 from repro.core.session import IterationReport, MiningSession
 from repro.core.utility import (
     ARRIVAL,
@@ -91,7 +91,9 @@ __all__ = [
     "compress",
     "filter_min_support",
     "filter_tightened",
+    "fup_applicable",
     "fup_update",
+    "fup_update_delta",
     "get_recycling_miner",
     "get_strategy",
     "incremental_mine",

@@ -24,11 +24,16 @@ the support threshold changes; recycling needs none of that. The
 from __future__ import annotations
 
 from itertools import combinations
+from typing import TYPE_CHECKING
 
 from repro.data.transactions import TransactionDatabase
 from repro.errors import MiningError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import Pattern, PatternSet
+from repro.resilience import REASON_FUP_INSERT_ONLY, DegradationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.versioned import DatabaseDelta
 
 
 def _count_candidates(
@@ -145,6 +150,19 @@ def fup_update(
 
         if not level:
             break
+        # Geerts–Goethals–Van den Bussche tight candidate bound (shared
+        # with the parallel merge recount): |F_k| canonically decomposed
+        # bounds |F_{k+1}|; zero means no larger pattern can be frequent
+        # at all — winners included — so the level loop is over without
+        # scanning another candidate. Lazy import: the deliberate
+        # core→parallel edge stays function-local (see tests layering
+        # contract).
+        from repro.parallel.merge import tight_candidate_bound
+
+        if tight_candidate_bound(len(level), size) == 0:
+            if counters is not None:
+                counters.add("fup_bound_cutoffs")
+            break
         previous_level = level
         size += 1
 
@@ -152,3 +170,65 @@ def fup_update(
         counters.tuple_scans += tuple_scans
         counters.patterns_emitted += len(result)
     return result
+
+
+def fup_update_delta(
+    old_db: TransactionDatabase,
+    delta: "DatabaseDelta",
+    old_patterns: PatternSet,
+    min_support: int,
+    counters: CostCounters | None = None,
+    degradation: DegradationReport | None = None,
+) -> PatternSet:
+    """FUP over a :class:`~repro.data.versioned.DatabaseDelta`.
+
+    FUP's pruning lemma is *insert-only*: a deletion can raise the
+    relative support of patterns the old run never materialized, so
+    patching a deletion delta with FUP silently produces wrong supports.
+    This wrapper refuses — it records ``update→mine: fup_insert_only``
+    on ``degradation`` (when given) and raises
+    :class:`~repro.errors.MiningError` so the caller falls back to a
+    sound path (recycling-based :func:`~repro.core.incremental.
+    incremental_mine`, or a scratch mine) instead.
+    """
+    if not delta.is_insert_only:
+        if degradation is not None:
+            degradation.record("update", "mine", REASON_FUP_INSERT_ONLY)
+        raise MiningError(
+            f"FUP cannot patch a deletion delta ({len(delta.deletes)} deleted "
+            "tids): old supports only bound inserted rows"
+        )
+    increment = TransactionDatabase(delta.appends)
+    return fup_update(old_db, increment, old_patterns, min_support, counters)
+
+
+def fup_applicable(
+    delta: "DatabaseDelta",
+    feedstock_support: int,
+    new_support: int,
+    old_size: int,
+) -> bool:
+    """Whether FUP is *sound* for this delta and feedstock.
+
+    The delta must be insert-only, and every pattern frequent in the
+    merged database but absent from the feedstock must clear
+    :func:`fup_update`'s increment-local pruning bar. A non-winner has
+    old support at most ``xi_old - 1``, hence increment count at least
+    ``xi_new - xi_old + 1``; FUP is sound exactly when that worst case
+    still reaches ``delta_threshold``. (The textbook special case —
+    feedstock at least as selective *relative* to the old database as
+    the new threshold is to the grown one — satisfies this; the exact
+    bar additionally admits constant-absolute-support growth, the
+    common warehouse scenario.)
+    """
+    if not delta.is_insert_only or old_size <= 0:
+        return False
+    if feedstock_support > new_support:
+        return False
+    increment_size = len(delta.appends)
+    new_size = old_size + increment_size
+    delta_threshold = max(1, new_support - old_size)
+    delta_threshold = max(
+        delta_threshold, int(new_support / new_size * increment_size)
+    )
+    return new_support - feedstock_support + 1 >= delta_threshold

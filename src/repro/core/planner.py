@@ -15,6 +15,16 @@ the paper's Section 2 case analysis:
 * no feedstock (or an empty one, which carries nothing to salvage) —
   **mine** from scratch with a baseline algorithm.
 
+Since the versioned-chain refactor there is a fourth path for the case
+where *the database itself changed* (the paper's Section 2 extended
+problem statement): **update** — patch a pattern set warehoused for a
+chain *ancestor* using the :class:`~repro.data.versioned.DatabaseDelta`
+between the versions. :func:`plan_update_path` arbitrates it against the
+trichotomy with a churn cost model, and picks between two patch engines:
+FUP (exact old supports, insert-only, cheap) and recycling-based
+``incremental_mine`` (any delta, full recount over the compressed new
+database).
+
 The planner is pure (no I/O, no mining); :func:`execute_plan` carries a
 plan out.  Splitting the two keeps the decision testable in isolation
 and lets callers report *what* they decided before paying for it.
@@ -22,32 +32,60 @@ and lets callers report *what* they decided before paying for it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.data.patterns import CondensedPatternSet
 from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta
+from repro.errors import ReproError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
 from repro.mining.registry import get_miner, has_miner
 from repro.resilience import (
     REASON_CIRCUIT_OPEN,
+    REASON_FUP_INSERT_ONLY,
+    REASON_UPDATE_FAILED,
+    UPDATE_PATCH,
     DegradationReport,
     ResilienceConfig,
 )
 
-#: The three sound paths to a support-level pattern set.
+#: The four sound paths to a support-level pattern set.
 PATH_FILTER = "filter"
 PATH_RECYCLE = "recycle"
 PATH_MINE = "mine"
+PATH_UPDATE = "update"
+
+#: The two patch engines behind :data:`PATH_UPDATE`.
+UPDATE_FUP = "fup"
+UPDATE_RECYCLE = "recycle"
+
+#: Delta rows per new-database row beyond which patching is presumed to
+#: cost more than a cold re-mine. Half the database churning means the
+#: "old" work being salvaged no longer dominates; the incremental bench
+#: (``BENCH_incremental.json``) records the measured crossover next to
+#: this modeled one.
+UPDATE_CHURN_CUTOFF = 0.5
 
 
 @dataclass(frozen=True)
 class MiningPlan:
-    """A chosen path plus the feedstock it consumes (if any)."""
+    """A chosen path plus the feedstock it consumes (if any).
 
-    path: str  # PATH_FILTER | PATH_RECYCLE | PATH_MINE
+    The update-path fields (``ancestor_db`` onward) are populated only by
+    :func:`plan_update_path`; the support-trichotomy paths leave them at
+    their defaults.
+    """
+
+    path: str  # PATH_FILTER | PATH_RECYCLE | PATH_MINE | PATH_UPDATE
     feedstock: "PatternSet | CondensedPatternSet | None" = None
     feedstock_support: int | None = None
+    ancestor_db: TransactionDatabase | None = None
+    delta: DatabaseDelta | None = None
+    update_mode: str | None = None  # UPDATE_FUP | UPDATE_RECYCLE
+    ancestor_fingerprint: str | None = None
+    distance: int = 0
 
 
 def plan_support_path(
@@ -77,6 +115,69 @@ def plan_support_path(
     return MiningPlan(PATH_RECYCLE, feedstock, feedstock_support)
 
 
+def plan_update_path(
+    new_support: int,
+    feedstock: "PatternSet | CondensedPatternSet | None",
+    feedstock_support: int | None,
+    ancestor_db: TransactionDatabase | None,
+    delta: DatabaseDelta | None,
+    new_db_size: int,
+    churn_cutoff: float = UPDATE_CHURN_CUTOFF,
+    ancestor_fingerprint: str | None = None,
+    distance: int | None = None,
+) -> MiningPlan:
+    """Arbitrate the update path against the filter/recycle/mine trichotomy.
+
+    ``feedstock`` is the full pattern set warehoused for ``ancestor_db``
+    at ``feedstock_support``; ``delta`` is the exact change from that
+    ancestor to the database being mined (``new_db_size`` rows). The
+    case analysis:
+
+    * empty delta — the versions are content-identical, so this *is* the
+      support trichotomy: defer to :func:`plan_support_path`;
+    * no usable feedstock — **mine** (nothing to patch);
+    * churn above ``churn_cutoff`` — **mine**: the cost model says
+      patching reads most of the database anyway, so the salvageable old
+      work no longer pays for the patch machinery;
+    * insert-only delta whose feedstock supports are exact and complete
+      at the new threshold (:func:`~repro.core.fup.fup_applicable`) —
+      **update/fup**: the cheapest sound patch, scans mostly the
+      increment;
+    * anything else — **update/recycle**: the old patterns compress the
+      *new* database and a recycling miner recounts exactly
+      (:func:`~repro.core.incremental.incremental_mine`'s engine), sound
+      for deletions, mixed deltas and threshold drops alike.
+    """
+    if feedstock is None or feedstock_support is None or delta is None:
+        return MiningPlan(PATH_MINE)
+    if delta.is_empty:
+        return plan_support_path(new_support, feedstock, feedstock_support)
+    if len(feedstock) == 0 or ancestor_db is None:
+        return MiningPlan(PATH_MINE)
+    churn = delta.size / max(1, new_db_size)
+    if churn > churn_cutoff:
+        return MiningPlan(PATH_MINE)
+    from repro.core.fup import fup_applicable
+
+    mode = (
+        UPDATE_FUP
+        if fup_applicable(delta, feedstock_support, new_support, len(ancestor_db))
+        else UPDATE_RECYCLE
+    )
+    if distance is None:
+        distance = delta.size
+    return MiningPlan(
+        PATH_UPDATE,
+        feedstock,
+        feedstock_support,
+        ancestor_db=ancestor_db,
+        delta=delta,
+        update_mode=mode,
+        ancestor_fingerprint=ancestor_fingerprint,
+        distance=distance,
+    )
+
+
 def execute_plan(
     plan: MiningPlan,
     db: TransactionDatabase,
@@ -101,6 +202,12 @@ def execute_plan(
     injector into that engine and, when it carries a circuit breaker,
     skips straight to serial while the breaker is open; every rung
     descended is recorded on ``degradation`` (when given).
+
+    The update path additionally honors the ``update.patch`` fault point
+    and guarantees atomicity-of-outcome: any failure mid-patch falls
+    through to a clean scratch mine of ``db`` (recorded as
+    ``update→mine: update_failed``), so callers can never observe a
+    half-patched pattern set.
     """
     if plan.path == PATH_FILTER:
         assert plan.feedstock is not None
@@ -128,6 +235,63 @@ def execute_plan(
         if degradation is not None:
             degradation.extend(outcome.degradation)
         return outcome.patterns
+    if plan.path == PATH_UPDATE:
+        assert plan.feedstock is not None and plan.delta is not None
+        try:
+            if resilience is not None and resilience.faults is not None:
+                delay = resilience.faults.fire(
+                    UPDATE_PATCH, detail=plan.update_mode or ""
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            if plan.update_mode == UPDATE_FUP:
+                from repro.core.fup import fup_update_delta
+
+                assert plan.ancestor_db is not None
+                feed = plan.feedstock
+                if isinstance(feed, CondensedPatternSet):
+                    feed = feed.expand()
+                return fup_update_delta(
+                    plan.ancestor_db,
+                    plan.delta,
+                    feed,
+                    new_support,
+                    counters,
+                    degradation,
+                )
+            # UPDATE_RECYCLE: incremental_mine's engine with the full
+            # parallel/resilience plumbing — the ancestor's patterns
+            # compress the *new* database and the recycling miner
+            # recounts every support exactly, so stale feedstock
+            # supports cost performance, never correctness.
+            from repro.core.recycle import recycle_mine_detailed
+
+            outcome = recycle_mine_detailed(
+                db,
+                plan.feedstock,
+                new_support,
+                algorithm=resolve_recycling_algorithm(algorithm),
+                strategy=strategy,
+                counters=counters,
+                backend=backend,
+                jobs=jobs,
+                resilience=resilience,
+            )
+            if degradation is not None:
+                degradation.extend(outcome.degradation)
+            return outcome.patterns
+        except ReproError:
+            # A failed update must degrade to a clean scratch mine —
+            # never serve a half-patched pattern set. (If FUP already
+            # recorded its structured insert-only rejection, don't
+            # stack a second step on top of it.)
+            if degradation is not None and not (
+                degradation.steps
+                and degradation.steps[-1].reason == REASON_FUP_INSERT_ONLY
+            ):
+                degradation.record(PATH_UPDATE, PATH_MINE, REASON_UPDATE_FAILED)
+            if counters is not None:
+                counters.add("update_fallbacks")
     name = resolve_baseline_algorithm(algorithm)
     if jobs > 1:
         resilience = resilience or ResilienceConfig()

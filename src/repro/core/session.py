@@ -23,7 +23,9 @@ multi-user platform (Section 2).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.constraints.base import ChangeKind, ConstraintContext
 from repro.constraints.engine import ConstraintSet
@@ -31,11 +33,13 @@ from repro.core.planner import (
     PATH_MINE,
     execute_plan,
     plan_support_path,
+    plan_update_path,
     resolve_recycling_algorithm,
 )
 from repro.data.items import ItemTable
 from repro.data.patterns import REPRESENTATIONS, CondensedPatternSet
 from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
 from repro.errors import DataError, RecycleError
 from repro.metrics.counters import CostCounters
 from repro.mining.patterns import PatternSet
@@ -52,7 +56,7 @@ class IterationReport:
     """
 
     index: int
-    path: str  # "initial" | "filter" | "recycle"
+    path: str  # "initial" | "filter" | "recycle" | "update" | "mine"
     change: ChangeKind | None
     absolute_support: int
     pattern_count: int
@@ -66,6 +70,11 @@ class IterationReport:
     representation: str = "full"
     feedstock_entries: int = 0
     condensation_ratio: float = 1.0
+    #: When the iteration crossed a database change: which update mode
+    #: patched the feedstock ("fup" or "recycle", ``None`` off the update
+    #: path) and how many delta rows separated mined from current state.
+    update_mode: str | None = None
+    delta_size: int = 0
 
 
 class MiningSession:
@@ -98,6 +107,13 @@ class MiningSession:
         Retry budget, fault injector and circuit breaker threaded into
         the sharded engine when ``jobs > 1``; any degradation is
         recorded on each :class:`IterationReport`.
+    window:
+        When set, the session runs in **sliding-window** mode over
+        transaction batches: the initial database is batch 0, every
+        :meth:`append_batch` adds one batch, and once more than
+        ``window`` batches are live the oldest is expired *in the same
+        delta* that appends the new one. ``None`` (the default) keeps
+        the database append/delete-only under explicit calls.
     representation:
         How the cached recycling feedstock is held between iterations:
         ``"full"`` (the frequent set verbatim, the historical behavior),
@@ -117,6 +133,7 @@ class MiningSession:
         jobs: int = 1,
         resilience: ResilienceConfig | None = None,
         representation: str = "full",
+        window: int | None = None,
     ) -> None:
         if algorithm != "naive" and not has_miner(algorithm, kind="baseline"):
             known = ", ".join(miner_names("baseline"))
@@ -128,15 +145,29 @@ class MiningSession:
                 f"unknown representation {representation!r}; "
                 f"expected one of {REPRESENTATIONS}"
             )
+        if window is not None and window < 1:
+            raise RecycleError(f"window must be >= 1 batches, got {window}")
         self.representation = representation
-        self.db = db
+        self._item_table = item_table or ItemTable()
+        self._version = VersionedDatabase.initial(db)
+        # The chain state the cached feedstock was mined against. None
+        # until the first mine; when it trails self._version, the next
+        # mine() goes through the update path (patch across the delta)
+        # instead of the same-database support trichotomy.
+        self._mined_version: VersionedDatabase | None = None
+        self.window = window
+        # Sliding-window bookkeeping: the tids of each live batch,
+        # oldest first. Batch 0 is the initial database.
+        self._batches: deque[tuple[int, ...]] = deque()
+        if window is not None:
+            self._batches.append(tuple(db.tids))
         self.algorithm = algorithm
         self.strategy = strategy
         self.backend = backend
         self.jobs = jobs
         self.resilience = resilience or ResilienceConfig()
         self.context = ConstraintContext(
-            db_size=len(db), item_table=item_table or ItemTable()
+            db_size=len(db), item_table=self._item_table
         )
         self.history: list[IterationReport] = []
         self._constraints: ConstraintSet | None = None
@@ -147,6 +178,74 @@ class MiningSession:
         # both forms.
         self._support_patterns: PatternSet | CondensedPatternSet | None = None
         self._absolute_support: int | None = None
+
+    @property
+    def db(self) -> TransactionDatabase:
+        """The current database — the head of the version chain."""
+        return self._version.db
+
+    @property
+    def version(self) -> VersionedDatabase:
+        """The current chain head (fingerprint-linked to its ancestors)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # database evolution (streaming tenancy)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: DatabaseDelta) -> VersionedDatabase:
+        """Advance the session's database by one delta.
+
+        The cached feedstock is *kept*: the next :meth:`mine` call plans
+        an update path across the accumulated delta (FUP for insert-only
+        growth, compression-based recycling otherwise) with cost-model
+        fallback to scratch mining. Returns the new chain head.
+        """
+        self._version = self._version.apply(delta)
+        self.context = ConstraintContext(
+            db_size=len(self.db), item_table=self._item_table
+        )
+        return self._version
+
+    def append_batch(self, transactions: Iterable[Iterable[int]]) -> DatabaseDelta:
+        """Append a batch of transactions (one delta).
+
+        In sliding-window mode the oldest live batch is expired in the
+        same delta once the window would overflow, so the database only
+        ever reflects the newest ``window`` batches. Returns the delta
+        that was applied.
+        """
+        appended = DatabaseDelta.append(transactions)
+        if appended.is_empty:
+            raise RecycleError("append_batch needs at least one transaction")
+        delta = appended
+        if self.window is not None and len(self._batches) >= self.window:
+            expired: list[int] = []
+            while len(self._batches) >= self.window:
+                expired.extend(self._batches.popleft())
+            delta = DatabaseDelta(appends=appended.appends, deletes=frozenset(expired))
+        self.apply_delta(delta)
+        if self.window is not None:
+            # apply() assigns the batch the newest tids in the chain.
+            count = len(delta.appends)
+            self._batches.append(tuple(self._version.db.tids[-count:]))
+        return delta
+
+    def delete_tids(self, tids: Iterable[int]) -> DatabaseDelta:
+        """Delete transactions by tid (one delta)."""
+        delta = DatabaseDelta.delete(tids)
+        if delta.is_empty:
+            raise RecycleError("delete_tids needs at least one tid")
+        self.apply_delta(delta)
+        if self.window is not None:
+            gone = delta.deletes
+            self._batches = deque(
+                batch
+                for batch in (
+                    tuple(t for t in b if t not in gone) for b in self._batches
+                )
+                if batch
+            )
+        return delta
 
     # ------------------------------------------------------------------
     # public API
@@ -164,15 +263,36 @@ class MiningSession:
         started = time.perf_counter()
         new_support = constraints.absolute_support(len(self.db))
 
+        stale = (
+            self._mined_version is not None
+            and self._mined_version.fingerprint() != self._version.fingerprint()
+        )
         if self._constraints is None or self._support_patterns is None:
             change: ChangeKind | None = None
             plan = plan_support_path(new_support, None, None)
+            path = "initial" if plan.path == PATH_MINE else plan.path
+        elif stale:
+            # The database moved since the feedstock was mined: patch
+            # the cached patterns across the delta instead of treating
+            # them as same-database feedstock (which would be unsound).
+            change = self._constraints.classify_change(constraints)
+            assert self._mined_version is not None
+            delta = self._version.delta_from(self._mined_version)
+            plan = plan_update_path(
+                new_support,
+                self._support_patterns,
+                self._absolute_support,
+                self._mined_version.db,
+                delta,
+                len(self.db),
+            )
+            path = plan.path
         else:
             change = self._constraints.classify_change(constraints)
             plan = plan_support_path(
                 new_support, self._support_patterns, self._absolute_support
             )
-        path = "initial" if plan.path == PATH_MINE else plan.path
+            path = "initial" if plan.path == PATH_MINE else plan.path
         degradation = DegradationReport()
         support_patterns = execute_plan(
             plan,
@@ -194,6 +314,7 @@ class MiningSession:
         self._constraints = constraints
         self._support_patterns = feedstock
         self._absolute_support = new_support
+        self._mined_version = self._version
         if isinstance(feedstock, CondensedPatternSet):
             feedstock_entries = len(feedstock)
             condensation_ratio = feedstock.condensation_ratio()
@@ -213,6 +334,8 @@ class MiningSession:
                 representation=self.representation,
                 feedstock_entries=feedstock_entries,
                 condensation_ratio=condensation_ratio,
+                update_mode=plan.update_mode,
+                delta_size=plan.delta.size if plan.delta is not None else 0,
             )
         )
         return result
@@ -256,6 +379,10 @@ class MiningSession:
         self._support_patterns = self._condense(patterns, absolute_support)
         self._absolute_support = absolute_support
         self._constraints = ConstraintSet.min_support(absolute_support)
+        # Seeded feedstock is taken to describe the database as it
+        # stands now; deltas applied afterwards route through the
+        # update path like any mined feedstock.
+        self._mined_version = self._version
 
     def exported_patterns(self) -> PatternSet:
         """The cached support-level pattern set (for another user/session).

@@ -33,10 +33,12 @@ from repro.data.synthetic import (
     random_database,
 )
 from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
 
 __all__ = [
     "DATASETS",
     "CondensedPatternSet",
+    "DatabaseDelta",
     "DatasetSpec",
     "EncodedDatabase",
     "Item",
@@ -47,6 +49,7 @@ __all__ = [
     "QuestParams",
     "REPRESENTATIONS",
     "TransactionDatabase",
+    "VersionedDatabase",
     "attribute_value_database",
     "bit_positions",
     "connect4_like",

@@ -90,7 +90,11 @@ class GatewayRequest:
         """The cross-request batching compatibility key.
 
         Two requests are *compatible* — one shared mine can serve both
-        exactly — when they target the same database (fingerprint) with
+        exactly — when they target the same database *version* (the
+        chain head's fingerprint when the request carries a
+        :class:`~repro.data.versioned.VersionedDatabase`, the bare
+        database fingerprint otherwise — two versions of one tenant's
+        evolving database never share a batch) with
         the same algorithm, strategy, backend and jobs. Support is
         deliberately absent: the batch mines once at the group's minimum
         absolute support and serves every member by
@@ -101,7 +105,7 @@ class GatewayRequest:
         ladders.
         """
         return (
-            self.request.db.fingerprint(),
+            self.request.version_fingerprint(),
             self.request.algorithm,
             self.request.strategy,
             self.request.backend,

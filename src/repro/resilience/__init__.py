@@ -9,10 +9,10 @@ kept deliberately low in the layer diagram (it imports nothing above
 :mod:`repro.core`, :mod:`repro.parallel` and :mod:`repro.service`):
 
 :mod:`repro.resilience.faults`
-    A seeded, deterministic :class:`FaultInjector` with five named fault
+    A seeded, deterministic :class:`FaultInjector` with six named fault
     points (``shard.crash``, ``shard.slow``, ``warehouse.read``,
-    ``warehouse.write``, ``merge.count``) — the chaos harness every
-    resilience test is written against.
+    ``warehouse.write``, ``merge.count``, ``update.patch``) — the chaos
+    harness every resilience test is written against.
 :mod:`repro.resilience.retry`
     :class:`RetryPolicy` (capped exponential backoff, deterministic
     jitter) and the three-state :class:`CircuitBreaker` that trips the
@@ -36,11 +36,13 @@ from repro.resilience.degradation import (
     REASON_DEADLINE,
     REASON_DEADLINE_EXPIRED,
     REASON_FEEDSTOCK_QUARANTINED,
+    REASON_FUP_INSERT_ONLY,
     REASON_GATEWAY_CLOSED,
     REASON_LOAD_SHED,
     REASON_MERGE_FAILED,
     REASON_QUEUE_FULL,
     REASON_SHARD_FAILED,
+    REASON_UPDATE_FAILED,
     REASON_WAREHOUSE_READ_FAILED,
     REASON_WORKER_ERROR,
     REASON_WRITE_FAILED,
@@ -52,6 +54,7 @@ from repro.resilience.faults import (
     MERGE_COUNT,
     SHARD_CRASH,
     SHARD_SLOW,
+    UPDATE_PATCH,
     WAREHOUSE_READ,
     WAREHOUSE_WRITE,
     FaultInjector,
@@ -93,16 +96,19 @@ __all__ = [
     "REASON_DEADLINE",
     "REASON_DEADLINE_EXPIRED",
     "REASON_FEEDSTOCK_QUARANTINED",
+    "REASON_FUP_INSERT_ONLY",
     "REASON_GATEWAY_CLOSED",
     "REASON_LOAD_SHED",
     "REASON_MERGE_FAILED",
     "REASON_QUEUE_FULL",
     "REASON_SHARD_FAILED",
+    "REASON_UPDATE_FAILED",
     "REASON_WAREHOUSE_READ_FAILED",
     "REASON_WORKER_ERROR",
     "REASON_WRITE_FAILED",
     "SHARD_CRASH",
     "SHARD_SLOW",
+    "UPDATE_PATCH",
     "WAREHOUSE_READ",
     "WAREHOUSE_WRITE",
     "CircuitBreaker",

@@ -44,6 +44,13 @@ REASON_LOAD_SHED = "load_shed"
 REASON_DEADLINE_EXPIRED = "deadline_expired"
 #: The gateway shut down with the request still queued.
 REASON_GATEWAY_CLOSED = "gateway_closed"
+#: The update path was asked to FUP-patch a delta containing deletions
+#: (or stale relative supports) — FUP is insert-only, so the request
+#: degrades to a sound path instead of producing wrong supports.
+REASON_FUP_INSERT_ONLY = "fup_insert_only"
+#: An update-path patch failed mid-flight (fault, corrupt feedstock,
+#: miner error); the request degrades to a clean scratch mine.
+REASON_UPDATE_FAILED = "update_failed"
 
 
 @dataclass(frozen=True)

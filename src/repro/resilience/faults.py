@@ -2,9 +2,9 @@
 
 A long-running mining service fails in a handful of well-understood
 places: a shard worker crashes, a shard runs slow, a warehouse file read
-comes back corrupt, a write-through to disk fails, or the merge recount
-blows up. :class:`FaultInjector` names exactly those places as **fault
-points** and lets a test (or a chaos CI job) arm them with deterministic
+comes back corrupt, a write-through to disk fails, the merge recount
+blows up, or an incremental update dies mid-patch. :class:`FaultInjector`
+names exactly those places as **fault points** and lets a test (or a chaos CI job) arm them with deterministic
 triggers — *fire on call 3*, *fire with probability 0.2 under seed 7* —
 so the same seed always produces the same failure schedule.
 
@@ -41,10 +41,15 @@ WAREHOUSE_READ = "warehouse.read"
 WAREHOUSE_WRITE = "warehouse.write"
 #: The merge pass's exact recount fails.
 MERGE_COUNT = "merge.count"
+#: The planner's update path fails mid-patch (FUP or recycle-update);
+#: the executor must fall back to a clean scratch mine, never serve a
+#: half-patched pattern set.
+UPDATE_PATCH = "update.patch"
 
 #: Every named fault point an injector will accept.
 FAULT_POINTS = frozenset(
-    {SHARD_CRASH, SHARD_SLOW, WAREHOUSE_READ, WAREHOUSE_WRITE, MERGE_COUNT}
+    {SHARD_CRASH, SHARD_SLOW, WAREHOUSE_READ, WAREHOUSE_WRITE, MERGE_COUNT,
+     UPDATE_PATCH}
 )
 
 

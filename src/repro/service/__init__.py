@@ -16,9 +16,17 @@ from repro.service.service import (
     ServiceStats,
 )
 from repro.service.warehouse import PatternWarehouse, WarehouseHit
-from repro.service.workload import load_workload, parse_workload, serve_workload
+from repro.service.workload import (
+    DeltaOp,
+    load_workload,
+    load_workload_items,
+    parse_workload,
+    parse_workload_items,
+    serve_workload,
+)
 
 __all__ = [
+    "DeltaOp",
     "MineRequest",
     "MineResponse",
     "MiningService",
@@ -26,6 +34,8 @@ __all__ = [
     "ServiceStats",
     "WarehouseHit",
     "load_workload",
+    "load_workload_items",
     "parse_workload",
+    "parse_workload_items",
     "serve_workload",
 ]

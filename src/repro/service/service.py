@@ -4,8 +4,9 @@
 Section 2 of the paper: tenants submit :class:`MineRequest`s, a worker
 pool executes them, and a shared :class:`PatternWarehouse` turns one
 tenant's results into everyone else's feedstock. Each request is planned
-with the same :mod:`repro.core.planner` trichotomy the interactive
-session uses — filter a cached superset, recycle a cached subset, or
+with the same :mod:`repro.core.planner` decision the interactive
+session uses — filter a cached superset, recycle a cached subset,
+*update*-patch a chain ancestor's entry across a database delta, or
 mine from scratch — so the service never re-derives what the warehouse
 already paid for.
 
@@ -48,8 +49,18 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.planner import PATH_FILTER, execute_plan, plan_support_path
+from repro.core.planner import (
+    PATH_FILTER,
+    PATH_MINE,
+    PATH_RECYCLE,
+    PATH_UPDATE,
+    MiningPlan,
+    execute_plan,
+    plan_support_path,
+    plan_update_path,
+)
 from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
 from repro.errors import ReproError
 from repro.metrics.counters import CostCounters
 from repro.metrics.reservoir import LatencyReservoir
@@ -74,6 +85,13 @@ class MineRequest:
     ``support`` follows the library convention: values in ``(0, 1)`` are
     relative fractions of the database, values ``>= 1`` are absolute
     counts.
+
+    ``version`` optionally places ``db`` in a
+    :class:`~repro.data.versioned.VersionedDatabase` chain. A versioned
+    request that misses the warehouse for its own fingerprint may still
+    be served from a chain *ancestor*'s entry via the planner's update
+    path; the version's database must be the request's database
+    (validated at submit).
     """
 
     db: TransactionDatabase
@@ -83,10 +101,23 @@ class MineRequest:
     strategy: str = "mcp"
     backend: str = "bitset"
     jobs: int = 1
+    version: VersionedDatabase | None = None
 
     def absolute_support(self) -> int:
         """The absolute threshold this request resolves to."""
         return self.db.relative_to_absolute(self.support)
+
+    def version_fingerprint(self) -> str:
+        """The fingerprint identifying this request's database *version*.
+
+        Identical to ``db.fingerprint()`` (the version wraps the same
+        database), but spelled through the chain when one is attached so
+        version identity is explicit at call sites that must never mix
+        versions (the gateway's ``batch_key``).
+        """
+        if self.version is not None:
+            return self.version.fingerprint()
+        return self.db.fingerprint()
 
 
 @dataclass(frozen=True)
@@ -101,7 +132,7 @@ class MineResponse:
     """
 
     tenant: str
-    path: str  # "filter" | "recycle" | "mine"
+    path: str  # "filter" | "recycle" | "mine" | "update"
     absolute_support: int
     feedstock_support: int | None
     patterns: PatternSet
@@ -111,6 +142,10 @@ class MineResponse:
     jobs: int = 1
     parallel_fallback: bool = False
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    #: Update-path detail: which patch engine ran ("fup" | "recycle"),
+    #: and the delta distance to the ancestor whose entry was patched.
+    update_mode: str | None = None
+    feedstock_distance: int = 0
 
     @property
     def pattern_count(self) -> int:
@@ -130,6 +165,8 @@ class _Computation:
     jobs: int = 1
     parallel_fallback: bool = False
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    update_mode: str | None = None
+    feedstock_distance: int = 0
 
 
 class ServiceStats:
@@ -140,14 +177,20 @@ class ServiceStats:
         self.requests = 0
         self.filter_hits = 0
         self.recycles = 0
+        self.updates = 0
         self.misses = 0
         self.coalesced = 0
         self.computations = 0
         self.mine_runs = 0
         self.recycle_runs = 0
+        self.update_runs = 0
         self.parallel_runs = 0
         self.parallel_fallbacks = 0
         self.degraded = 0
+        #: Version-chain traffic: deltas applied through the service and
+        #: chains registered with the warehouse lineage registry.
+        self.deltas_applied = 0
+        self.versions_registered = 0
         self._degradation_reasons: dict[str, int] = {}
         self._latencies = LatencyReservoir()
         self._breaker: CircuitBreaker | None = None
@@ -180,6 +223,8 @@ class ServiceStats:
                 self.filter_hits += 1
             elif response.path == "recycle":
                 self.recycles += 1
+            elif response.path == "update":
+                self.updates += 1
             else:
                 self.misses += 1
             if response.coalesced:
@@ -190,6 +235,8 @@ class ServiceStats:
                     self.mine_runs += 1
                 elif response.path == "recycle":
                     self.recycle_runs += 1
+                elif response.path == "update":
+                    self.update_runs += 1
                 if response.jobs > 1:
                     self.parallel_runs += 1
                 if response.parallel_fallback:
@@ -201,6 +248,16 @@ class ServiceStats:
                         self._degradation_reasons.get(label, 0) + 1
                     )
             self._latencies.add(response.elapsed_seconds)
+
+    def record_delta_applied(self) -> None:
+        """Count one database delta applied through the service."""
+        with self._lock:
+            self.deltas_applied += 1
+
+    def record_version_registered(self) -> None:
+        """Count one version chain registered with the lineage registry."""
+        with self._lock:
+            self.versions_registered += 1
 
     def latency_quantile(self, q: float) -> float:
         """The q-quantile (0 < q <= 1) of recorded latencies (0.0 if none).
@@ -223,10 +280,17 @@ class ServiceStats:
         """
         with self._lock:
             if self.requests == 0:
-                return {"filter": 0.0, "recycle": 0.0, "mine": 0.0, "degraded": 0.0}
+                return {
+                    "filter": 0.0,
+                    "recycle": 0.0,
+                    "update": 0.0,
+                    "mine": 0.0,
+                    "degraded": 0.0,
+                }
             return {
                 "filter": self.filter_hits / self.requests,
                 "recycle": self.recycles / self.requests,
+                "update": self.updates / self.requests,
                 "mine": self.misses / self.requests,
                 "degraded": self.degraded / self.requests,
             }
@@ -261,16 +325,21 @@ class ServiceStats:
                 "requests": self.requests,
                 "filter_hits": self.filter_hits,
                 "recycles": self.recycles,
+                "updates": self.updates,
                 "misses": self.misses,
                 "coalesced": self.coalesced,
                 "computations": self.computations,
                 "mine_runs": self.mine_runs,
                 "recycle_runs": self.recycle_runs,
+                "update_runs": self.update_runs,
                 "parallel_runs": self.parallel_runs,
                 "parallel_fallbacks": self.parallel_fallbacks,
                 "degraded": self.degraded,
+                "deltas_applied": self.deltas_applied,
+                "versions_registered": self.versions_registered,
                 "filter_rate": rates["filter"],
                 "recycle_rate": rates["recycle"],
+                "update_rate": rates["update"],
                 "mine_rate": rates["mine"],
                 "degraded_rate": rates["degraded"],
                 "breaker_open": float(breaker["state"] != "closed"),
@@ -369,6 +438,15 @@ class MiningService:
             raise ReproError(f"unknown algorithm {request.algorithm!r}")
         if request.jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {request.jobs}")
+        if request.version is not None:
+            if request.version.fingerprint() != request.db.fingerprint():
+                raise ReproError(
+                    "request.version wraps a different database than "
+                    "request.db — the chain and the payload must agree"
+                )
+            # Keep the warehouse's lineage registry current so even a
+            # cold restart of the chain object can find ancestors later.
+            self._record_lineage(request.version)
         absolute = request.absolute_support()
         key = (
             request.db.fingerprint(),
@@ -411,6 +489,8 @@ class MiningService:
                 jobs=computation.jobs,
                 parallel_fallback=computation.parallel_fallback,
                 degradation=computation.degradation,
+                update_mode=computation.update_mode,
+                feedstock_distance=computation.feedstock_distance,
             )
             self.stats.record(response)
             response_future.set_result(response)
@@ -426,6 +506,42 @@ class MiningService:
         """Submit every request up front, then gather in request order."""
         futures = [self.submit(request) for request in requests]
         return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # version-chain operations
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, version: VersionedDatabase, delta: DatabaseDelta
+    ) -> VersionedDatabase:
+        """Advance a tenant's database chain by one delta.
+
+        Returns the child version; the link is recorded with the
+        warehouse's lineage registry so subsequent requests for the new
+        fingerprint can be served from the parent's warehoused patterns
+        through the update path.
+        """
+        child = version.apply(delta)
+        self.register_version(child)
+        self.stats.record_delta_applied()
+        return child
+
+    def register_version(self, version: VersionedDatabase) -> None:
+        """Make a version chain's lineage visible to the warehouse."""
+        self._record_lineage(version)
+        self.stats.record_version_registered()
+
+    def _record_lineage(self, version: VersionedDatabase) -> None:
+        if self.warehouse is None:
+            return
+        for node in version.chain():
+            if node.parent is None or node.delta is None:
+                continue
+            self.warehouse.record_lineage(
+                node.fingerprint(),
+                node.parent.fingerprint(),
+                node.delta_fingerprint,
+                node.delta.size,
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -469,13 +585,28 @@ class MiningService:
         leader.set_result(computation)
 
     def _find_feedstock(
-        self, fingerprint: str, absolute: int, degradation: DegradationReport
+        self,
+        fingerprint: str,
+        absolute: int,
+        degradation: DegradationReport,
+        version: VersionedDatabase | None = None,
     ):
-        """Consult the warehouse, degrading read failures to a miss."""
+        """Consult the warehouse, degrading read failures to a miss.
+
+        A versioned request searches the whole chain in one lookup —
+        nearest warehoused ancestor first — so a brand-new version whose
+        parent is warehoused still comes back a (distance > 0) hit
+        instead of a cold miss.
+        """
         if self.warehouse is None:
             return None
         try:
-            hit = self.warehouse.best_feedstock(fingerprint, absolute)
+            if version is not None:
+                hit = self.warehouse.ancestor_feedstock(
+                    fingerprint, absolute, lineage=version.lineage()
+                )
+            else:
+                hit = self.warehouse.best_feedstock(fingerprint, absolute)
         except ReproError:
             # An injected (or genuine) read failure: the feedstock is
             # unavailable, not poisoned — serve a miss and keep going.
@@ -493,19 +624,41 @@ class MiningService:
         counters = CostCounters()
         degradation = DegradationReport()
         started = time.perf_counter()
-        hit = self._find_feedstock(fingerprint, absolute, degradation)
+        hit = self._find_feedstock(
+            fingerprint, absolute, degradation, version=request.version
+        )
         # The plan consumes the warehouse entry in its stored (condensed)
         # form: a filter answers straight off the condensed set, and the
         # recycle path claims compression from the entries without ever
         # materializing the full expansion.
-        plan = plan_support_path(
-            absolute,
-            hit.feedstock if hit is not None else None,
-            hit.absolute_support if hit is not None else None,
-        )
+        if hit is not None and hit.distance > 0:
+            plan = self._plan_from_ancestor(request, absolute, hit)
+        else:
+            plan = plan_support_path(
+                absolute,
+                hit.feedstock if hit is not None else None,
+                hit.absolute_support if hit is not None else None,
+            )
         jobs = 1
         parallel_fallback = False
-        if request.jobs > 1 and plan.path != PATH_FILTER:
+        if plan.path == PATH_UPDATE:
+            # The update path runs through execute_plan whole: FUP is
+            # inherently serial, and the recycle-mode patch threads
+            # jobs/resilience into its own engine. Any mid-patch failure
+            # degrades to a scratch mine inside execute_plan.
+            patterns = execute_plan(
+                plan,
+                request.db,
+                absolute,
+                algorithm=request.algorithm,
+                strategy=request.strategy,
+                counters=counters,
+                backend=request.backend,
+                jobs=request.jobs,
+                resilience=self.resilience,
+                degradation=degradation,
+            )
+        elif request.jobs > 1 and plan.path != PATH_FILTER:
             if not self.breaker.allow():
                 degradation.record("parallel", "serial", REASON_CIRCUIT_OPEN)
                 counters.add("parallel_circuit_skips")
@@ -557,7 +710,43 @@ class MiningService:
             jobs=jobs,
             parallel_fallback=parallel_fallback,
             degradation=degradation,
+            update_mode=plan.update_mode,
+            feedstock_distance=plan.distance,
         )
+
+    def _plan_from_ancestor(
+        self, request: MineRequest, absolute: int, hit
+    ) -> MiningPlan:
+        """Turn an ancestor warehouse hit into an update (or fallback) plan.
+
+        When the request's chain object still holds the ancestor, the
+        exact delta is reconstructible and the full FUP/recycle/mine
+        arbitration applies. A registry-only hit (chain object gone, only
+        the warehouse's lineage links survive) cannot rebuild the
+        ancestor database, so FUP is off the table — but recycling the
+        ancestor's patterns as compression vocabulary is still sound,
+        supports being mere utility estimates across versions.
+        """
+        ancestor = (
+            request.version.ancestor(hit.fingerprint)
+            if request.version is not None
+            else None
+        )
+        if ancestor is not None:
+            delta = request.version.delta_from(ancestor)
+            return plan_update_path(
+                absolute,
+                hit.feedstock,
+                hit.absolute_support,
+                ancestor.db,
+                delta,
+                len(request.db),
+                ancestor_fingerprint=hit.fingerprint,
+                distance=hit.distance,
+            )
+        if len(hit.feedstock) == 0:
+            return MiningPlan(PATH_MINE)
+        return MiningPlan(PATH_RECYCLE, hit.feedstock, hit.absolute_support)
 
     def _compute_parallel(
         self,

@@ -96,6 +96,12 @@ class WarehouseHit:
     absolute_support: int  # the support the stored set was mined at
     feedstock: "PatternSet | CondensedPatternSet"
     exact: bool  # stored support == requested support
+    #: Delta distance (rows appended + deleted) between the requested
+    #: database version and the version the feedstock was mined on.
+    #: 0 means same version — the support trichotomy applies directly;
+    #: > 0 means the hit is a chain *ancestor* and only the update path
+    #: (or a recycle treating supports as estimates) may consume it.
+    distance: int = 0
 
     @property
     def patterns(self) -> PatternSet:
@@ -178,6 +184,11 @@ class PatternWarehouse:
         self._entries: OrderedDict[
             tuple[str, int], tuple[CondensedPatternSet, int, int | None]
         ] = OrderedDict()
+        # child fingerprint -> (parent fingerprint, delta fingerprint,
+        # hop distance): the version-chain registry behind
+        # ancestor_feedstock(). In-memory only — links are cheap to
+        # re-record and meaningless without the chain's tenant.
+        self._lineage: dict[str, tuple[str, str | None, int]] = {}
         self._stored_bytes = 0
         self.evictions = 0
         self.rejections = 0
@@ -296,6 +307,12 @@ class PatternWarehouse:
             self.faults.fire(
                 WAREHOUSE_READ, detail=f"feedstock lookup {fingerprint[:12]}"
             )
+        return self._scan_feedstock(fingerprint, absolute_support)
+
+    def _scan_feedstock(
+        self, fingerprint: str, absolute_support: int, distance: int = 0
+    ) -> WarehouseHit | None:
+        """The :meth:`best_feedstock` scan without the fault point."""
         with self._lock:
             below: int | None = None
             above: int | None = None
@@ -316,8 +333,88 @@ class PatternWarehouse:
                 fingerprint=fingerprint,
                 absolute_support=chosen,
                 feedstock=self._entries[key][0],
-                exact=chosen == absolute_support,
+                exact=chosen == absolute_support and distance == 0,
+                distance=distance,
             )
+
+    # ------------------------------------------------------------------
+    # version-chain lineage
+    # ------------------------------------------------------------------
+    def record_lineage(
+        self,
+        child_fingerprint: str,
+        parent_fingerprint: str,
+        delta_fingerprint: str | None = None,
+        distance: int = 1,
+    ) -> None:
+        """Register one version-chain link: child derived from parent.
+
+        ``distance`` is the hop's delta size (rows appended + deleted).
+        Links are in-memory only and idempotent; a child has exactly one
+        parent (re-recording overwrites), matching the chain model of
+        :class:`~repro.data.versioned.VersionedDatabase`. The registry
+        is what lets :meth:`ancestor_feedstock` serve a cold request for
+        a new version from an ancestor's warehoused patterns, even when
+        the caller no longer holds the chain object.
+        """
+        if child_fingerprint == parent_fingerprint:
+            return
+        with self._lock:
+            self._lineage[child_fingerprint] = (
+                parent_fingerprint,
+                delta_fingerprint,
+                max(0, distance),
+            )
+
+    def lineage_of(self, fingerprint: str) -> tuple[tuple[str, int], ...]:
+        """``(ancestor_fingerprint, cumulative_distance)`` pairs, self first.
+
+        Walks the recorded registry (cycle-guarded); the first element is
+        always ``(fingerprint, 0)``.
+        """
+        out: list[tuple[str, int]] = [(fingerprint, 0)]
+        seen = {fingerprint}
+        distance = 0
+        with self._lock:
+            current = fingerprint
+            while current in self._lineage:
+                parent, _delta_fp, hop = self._lineage[current]
+                if parent in seen:
+                    break
+                distance += hop
+                out.append((parent, distance))
+                seen.add(parent)
+                current = parent
+        return tuple(out)
+
+    def ancestor_feedstock(
+        self,
+        fingerprint: str,
+        absolute_support: int,
+        lineage: "tuple[tuple[str, int], ...] | None" = None,
+    ) -> WarehouseHit | None:
+        """The nearest warehoused feedstock along the version chain.
+
+        ``lineage`` is an ordered ``(fingerprint, distance)`` sequence,
+        nearest first (a :meth:`VersionedDatabase.lineage
+        <repro.data.versioned.VersionedDatabase.lineage>` result); when
+        omitted, the warehouse's own recorded registry is walked. The
+        scan stops at the *first* version with any stored entry — delta
+        distance dominates the patch cost, so the nearest warehoused
+        ancestor beats a better-support hit further up the chain. Fires
+        ``warehouse.read`` once, like :meth:`best_feedstock`.
+        """
+        if self.faults is not None:
+            self.faults.fire(
+                WAREHOUSE_READ, detail=f"ancestor lookup {fingerprint[:12]}"
+            )
+        if lineage is None:
+            lineage = self.lineage_of(fingerprint)
+        for ancestor_fp, distance in lineage:
+            hit = self._scan_feedstock(ancestor_fp, absolute_support, distance)
+            if hit is not None:
+                return hit
+        return None
 
     # ------------------------------------------------------------------
     # integrity auditing
@@ -508,6 +605,7 @@ class PatternWarehouse:
                 "migrated": self.migrated,
                 "quarantined": len(self.quarantined),
                 "memory_only": int(self.memory_only_reason is not None),
+                "lineage_links": len(self._lineage),
             }
 
     def condensation_ratio(self) -> float:

@@ -1,0 +1,89 @@
+"""Version-aware batching: two versions of one tenant's evolving
+database must never share a gateway batch, even when the underlying
+rows coincide — a shared mine would serve one of them a stale or
+premature pattern set."""
+
+from __future__ import annotations
+
+from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
+from repro.gateway import MiningGateway
+from repro.gateway.request import GatewayRequest
+from repro.mining.hmine import mine_hmine
+from repro.service import MineRequest, MiningService, PatternWarehouse
+
+
+def _db():
+    return TransactionDatabase(
+        [[1, 2, 3], [1, 2], [2, 3], [1, 3], [4, 5], [1, 2, 3]]
+    )
+
+
+def _key(request: MineRequest) -> tuple:
+    return GatewayRequest(request=request).batch_key()
+
+
+class TestBatchKeyVersioning:
+    def test_distinct_versions_never_share_a_key(self):
+        db = _db()
+        v0 = VersionedDatabase.initial(db)
+        v1 = v0.apply(DatabaseDelta.append([[6, 7]]))
+        k0 = _key(MineRequest(db=db, support=2, version=v0))
+        k1 = _key(MineRequest(db=v1.db, support=2, version=v1))
+        assert k0 != k1
+
+    def test_same_content_different_chain_position_splits_the_batch(self):
+        """A version that deleted a row and then re-appended identical
+        items has the same multiset of rows but different tids — its
+        chain fingerprint differs, so it must not batch with the
+        original (the stored delta's tid references would not resolve
+        against the other version)."""
+        db = _db()
+        v0 = VersionedDatabase.initial(db)
+        v2 = v0.apply(DatabaseDelta.delete([0])).apply(
+            DatabaseDelta.append([[1, 2, 3]])
+        )
+        assert sorted(v2.db.transactions) == sorted(db.transactions)
+        k0 = _key(MineRequest(db=db, support=2, version=v0))
+        k2 = _key(MineRequest(db=v2.db, support=2, version=v2))
+        assert k0 != k2
+
+    def test_unversioned_request_falls_back_to_db_fingerprint(self):
+        db = _db()
+        v0 = VersionedDatabase.initial(db)
+        bare = _key(MineRequest(db=db, support=2))
+        versioned = _key(MineRequest(db=db, support=2, version=v0))
+        # An initial version wraps the identical database, so the bare
+        # fingerprint and the chain-head fingerprint agree: existing
+        # unversioned tenants keep batching with version-0 tenants.
+        assert bare == versioned
+
+    def test_same_version_different_support_still_batches(self):
+        db = _db()
+        v0 = VersionedDatabase.initial(db)
+        low = _key(MineRequest(db=db, support=2, version=v0))
+        high = _key(MineRequest(db=db, support=4, version=v0))
+        assert low == high  # support is served by filtering, not keying
+
+
+def test_gateway_serves_both_versions_exactly():
+    """End to end: a queue holding requests against both ends of a delta
+    is served with each version's own exact answer."""
+    db = _db()
+    v0 = VersionedDatabase.initial(db)
+    v1 = v0.apply(
+        DatabaseDelta(appends=((1, 2), (2, 3)), deletes=frozenset({4}))
+    )
+    with MiningService(warehouse=PatternWarehouse()) as service:
+        gateway = MiningGateway(service, start=False)
+        futures = [
+            gateway.submit(MineRequest(db=db, support=2, version=v0)),
+            gateway.submit(MineRequest(db=v1.db, support=2, version=v1)),
+            gateway.submit(MineRequest(db=db, support=3, version=v0)),
+        ]
+        gateway.drain()
+        r0, r1, r2 = [future.result() for future in futures]
+        assert r0.patterns == mine_hmine(db, 2)
+        assert r1.patterns == mine_hmine(v1.db, 2)
+        assert r2.patterns == mine_hmine(db, 3)
+        gateway.close()

@@ -22,9 +22,11 @@ import pytest
 from repro.data.io import write_patterns_with_support
 from repro.data.synthetic import QuestParams, quest_database
 from repro.mining.hmine import mine_hmine
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
 from repro.resilience import (
     SHARD_CRASH,
     SHARD_SLOW,
+    UPDATE_PATCH,
     WAREHOUSE_READ,
     WAREHOUSE_WRITE,
     FaultInjector,
@@ -166,6 +168,56 @@ def test_chaos_gateway_batches_survive_faults(profile, tmp_path):
             )
         assert gateway.stats.served == len(SUPPORTS)
         gateway.close()
+
+
+@pytest.mark.parametrize("profile", ACTIVE_PROFILES)
+def test_chaos_update_path_degrades_to_clean_remine(profile, tmp_path):
+    """The update leg: faults firing mid-patch must never surface a
+    half-patched pattern set. Whatever the profile breaks — the patch
+    itself (``update.patch`` crash), the ancestor lookup (warehouse-read
+    corruption), or just latency (slow) — the served answer equals the
+    fault-free scratch mine of the *post-update* database, and a crashed
+    patch leaves its structured reason in the service stats."""
+    db = quest_database(
+        QuestParams(n_transactions=80, n_items=25, avg_transaction_length=5),
+        seed=SEED,
+    )
+    v0 = VersionedDatabase.initial(db)
+    # A mixed delta, so the planner picks the recycling patch engine.
+    delta = DatabaseDelta(
+        appends=db.transactions[:6], deletes=frozenset(db.tids[:3])
+    )
+    v1 = v0.apply(delta)
+    expected = mine_hmine(v1.db, 10)
+    faults = chaos_injector(profile)
+    # Mid-update faults on every profile: crash kills the patch itself,
+    # slow stretches it, corrupt (warehouse-read) starves it upstream.
+    if profile == "crash":
+        faults.inject(UPDATE_PATCH, probability=1.0)
+    elif profile == "slow":
+        faults.inject(UPDATE_PATCH, probability=1.0, delay_seconds=0.01)
+    retry = RetryPolicy(
+        max_attempts=3,
+        base_delay_seconds=0.001,
+        max_delay_seconds=0.01,
+        jitter_fraction=0.25,
+    )
+    warehouse = PatternWarehouse(directory=tmp_path, fault_injector=faults)
+    with MiningService(
+        warehouse=warehouse,
+        resilience=ResilienceConfig(retry=retry, faults=faults),
+    ) as service:
+        service.execute(MineRequest(db=db, support=10, version=v0))
+        response = service.execute(MineRequest(db=v1.db, support=10, version=v1))
+        assert response.patterns == expected, (
+            f"profile={profile} seed={SEED} served via {response.path} "
+            f"(degradation: {response.degradation.describe() or 'none'})"
+        )
+        if profile == "crash" and response.path == "update":
+            # The patch crashed under the injector; the fallback must be
+            # on the record, not silent.
+            summary = service.stats.degradation_summary()
+            assert any("update_failed" in label for label in summary), summary
 
 
 @pytest.mark.parametrize("profile", ACTIVE_PROFILES)

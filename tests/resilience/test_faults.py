@@ -10,6 +10,7 @@ from repro.resilience import (
     MERGE_COUNT,
     SHARD_CRASH,
     SHARD_SLOW,
+    UPDATE_PATCH,
     WAREHOUSE_READ,
     WAREHOUSE_WRITE,
     FaultInjector,
@@ -45,12 +46,13 @@ class TestArming:
         )
         assert isinstance(injector, FaultInjector)
 
-    def test_all_five_points_are_armable(self):
+    def test_all_named_points_are_armable(self):
         injector = FaultInjector()
         for point in FAULT_POINTS:
             injector.inject(point, on_calls=(1,))
         assert FAULT_POINTS == {
-            SHARD_CRASH, SHARD_SLOW, WAREHOUSE_READ, WAREHOUSE_WRITE, MERGE_COUNT
+            SHARD_CRASH, SHARD_SLOW, WAREHOUSE_READ, WAREHOUSE_WRITE,
+            MERGE_COUNT, UPDATE_PATCH,
         }
 
 

@@ -138,6 +138,7 @@ class TestStatsZeroGuards:
         assert stats.path_rates() == {
             "filter": 0.0,
             "recycle": 0.0,
+            "update": 0.0,
             "mine": 0.0,
             "degraded": 0.0,
         }
