@@ -15,7 +15,9 @@ synthetic datasets (where vertical bitmaps pay off):
   auto-selects a backend and both must stay bit-identical everywhere.
 
 Each comparison asserts the results are bit-identical before reporting
-the speedup. Results go to ``BENCH_backends.json`` at the repo root.
+the speedup. Results go to ``BENCH_backends.json`` at the repo root and
+are archived as a stamped snapshot under ``.bench_history/<commit>/``
+for the trend pipeline (``repro report``).
 
 Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
@@ -24,7 +26,6 @@ Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
 from __future__ import annotations
 
-import json
 import math
 import sys
 import time
@@ -35,6 +36,7 @@ from repro.data.datasets import DATASETS
 from repro.mining.eclat import mine_eclat, mine_eclat_bitset
 from repro.mining.hmine import mine_hmine
 from repro.storage.projection import mine_grouped
+from repro.trends import write_benchmark_snapshot
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 ALL_DATASETS = list(DATASETS.values())
@@ -144,12 +146,13 @@ def main() -> int:
                 f"speedup {row['speedup']:.2f}x"
             )
 
-    out_path = REPO_ROOT / "BENCH_backends.json"
-    out_path.write_text(
-        json.dumps({"repeats": REPEATS, "seed": SEED, "results": results}, indent=2)
-        + "\n"
+    legacy_path, archive_path = write_benchmark_snapshot(
+        "backends",
+        {"repeats": REPEATS, "seed": SEED, "results": results},
+        repo_root=REPO_ROOT,
     )
-    print(f"wrote {out_path}")
+    print(f"wrote {legacy_path}")
+    print(f"archived {archive_path}")
     return 0
 
 

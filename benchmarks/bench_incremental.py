@@ -3,7 +3,9 @@
 Replays the ``incremental-<dataset>`` churn sweep
 (:func:`repro.bench.experiments.incremental_rows`) on connect4 — the
 dense surrogate the figures gate on — plus weather as the sparse
-control, and writes ``BENCH_incremental.json`` at the repo root:
+control, and writes ``BENCH_incremental.json`` at the repo root (plus a
+stamped snapshot under ``.bench_history/<commit>/`` for ``repro
+report``):
 
 * per-churn work and wall for scratch / FUP / recycle-update, every
   contender verified bit-identical to a from-scratch re-mine;
@@ -26,11 +28,11 @@ Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 from repro.bench.experiments import incremental_crossover, incremental_rows
+from repro.trends import write_benchmark_snapshot
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DATASETS = ("connect4", "weather")
@@ -84,20 +86,18 @@ def main() -> int:
                else "update path won the whole sweep")
         )
 
-    out_path = REPO_ROOT / "BENCH_incremental.json"
-    out_path.write_text(
-        json.dumps(
-            {
-                "seed": SEED,
-                "datasets": list(DATASETS),
-                "crossover_churn": crossovers,
-                "results": results,
-            },
-            indent=2,
-        )
-        + "\n"
+    legacy_path, archive_path = write_benchmark_snapshot(
+        "incremental",
+        {
+            "seed": SEED,
+            "datasets": list(DATASETS),
+            "crossover_churn": crossovers,
+            "results": results,
+        },
+        repo_root=REPO_ROOT,
     )
-    print(f"wrote {out_path}")
+    print(f"wrote {legacy_path}")
+    print(f"archived {archive_path}")
     return 0
 
 

@@ -20,7 +20,9 @@ wall-clock by the contention factor, making per-shard timings — and any
 wall-clock ratio — meaningless.  The ``speedup_basis`` and ``cpus``
 fields record which basis each row used.
 
-Results go to ``BENCH_parallel.json`` at the repo root.
+Results go to ``BENCH_parallel.json`` at the repo root and are archived
+as a stamped snapshot under ``.bench_history/<commit>/`` for the trend
+pipeline (``repro report``).
 
 Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
@@ -29,12 +31,12 @@ Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
 
 from repro.bench.experiments import parallel_speedup_rows
+from repro.trends import write_benchmark_snapshot
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DATASETS = ("weather", "forest", "connect4", "pumsb")
@@ -72,20 +74,18 @@ def main() -> int:
     if best_dense < 1.7:
         print("WARNING: below the 1.7x acceptance bar on dense datasets")
 
-    out_path = REPO_ROOT / "BENCH_parallel.json"
-    out_path.write_text(
-        json.dumps(
-            {
-                "seed": SEED,
-                "jobs_grid": list(JOBS),
-                "cpus": os.cpu_count() or 1,
-                "results": results,
-            },
-            indent=2,
-        )
-        + "\n"
+    legacy_path, archive_path = write_benchmark_snapshot(
+        "parallel",
+        {
+            "seed": SEED,
+            "jobs_grid": list(JOBS),
+            "cpus": os.cpu_count() or 1,
+            "results": results,
+        },
+        repo_root=REPO_ROOT,
     )
-    print(f"wrote {out_path}")
+    print(f"wrote {legacy_path}")
+    print(f"archived {archive_path}")
     return 0
 
 

@@ -30,7 +30,9 @@ clocks):
   bit-identical to a cold from-scratch mine inside
   :func:`~repro.bench.experiments.service_load_rows`.
 
-Results go to ``BENCH_service_load.json`` at the repo root.
+Results go to ``BENCH_service_load.json`` at the repo root and are
+archived as a stamped snapshot under ``.bench_history/<commit>/`` for
+the trend pipeline (``repro report``).
 
 Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
@@ -39,11 +41,11 @@ Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 from repro.bench.experiments import service_load_rows
+from repro.trends import write_benchmark_snapshot
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Connect-4 carries the acceptance bars: dense, deep patterns — the
@@ -120,15 +122,13 @@ def main() -> int:
                 f"({accounted}/{row['requests']} accounted)"
             )
 
-    out_path = REPO_ROOT / "BENCH_service_load.json"
-    out_path.write_text(
-        json.dumps(
-            {"seed": SEED, "datasets": list(DATASETS), "results": results},
-            indent=2,
-        )
-        + "\n"
+    legacy_path, archive_path = write_benchmark_snapshot(
+        "service_load",
+        {"seed": SEED, "datasets": list(DATASETS), "results": results},
+        repo_root=REPO_ROOT,
     )
-    print(f"wrote {out_path}")
+    print(f"wrote {legacy_path}")
+    print(f"archived {archive_path}")
     if ok:
         print(
             "acceptance: batching reduces work; admission bounds the queue "

@@ -25,7 +25,9 @@ support ties (board-gravity implications) condensation feeds on:
 * closed entries condense the stored footprint >= 10x, and
 * the closed warm-path hit rate strictly beats the full-set one.
 
-Results go to ``BENCH_warehouse.json`` at the repo root.
+Results go to ``BENCH_warehouse.json`` at the repo root and are
+archived as a stamped snapshot under ``.bench_history/<commit>/`` for
+the trend pipeline (``repro report``).
 
 Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
@@ -34,11 +36,11 @@ Run directly (not collected by pytest; tier-1 only collects ``tests/``)::
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 from repro.bench.experiments import DEFAULT_WAREHOUSE_BUDGET, warehouse_rows
+from repro.trends import write_benchmark_snapshot
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 #: The dense surrogates and their budgets. Connect-4 runs at the tight
@@ -81,19 +83,17 @@ def main() -> int:
     if by_repr["closed"]["warm_hit_rate"] <= by_repr["full"]["warm_hit_rate"]:
         print("WARNING: condensed entries did not improve warm-path hit rate")
 
-    out_path = REPO_ROOT / "BENCH_warehouse.json"
-    out_path.write_text(
-        json.dumps(
-            {
-                "seed": SEED,
-                "byte_budgets": DATASETS,
-                "results": results,
-            },
-            indent=2,
-        )
-        + "\n"
+    legacy_path, archive_path = write_benchmark_snapshot(
+        "warehouse",
+        {
+            "seed": SEED,
+            "byte_budgets": DATASETS,
+            "results": results,
+        },
+        repo_root=REPO_ROOT,
     )
-    print(f"wrote {out_path}")
+    print(f"wrote {legacy_path}")
+    print(f"archived {archive_path}")
     return 0
 
 

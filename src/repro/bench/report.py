@@ -7,20 +7,33 @@ same rows/series the paper's tables and figures report.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 
 def format_cell(value: object) -> str:
-    """Render one value: floats get 4 significant-ish decimals."""
+    """Render one value: floats get 4 significant-ish decimals.
+
+    Non-finite floats render explicitly (``nan`` / ``inf`` / ``-inf``)
+    instead of falling through the magnitude ladder, and magnitudes too
+    small for four decimal places switch to significant digits so a tiny
+    negative never collapses to the misleading ``-0.0000``.
+    """
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         if value == 0:
             return "0"
         if abs(value) >= 1000:
             return f"{value:,.0f}"
         if abs(value) >= 1:
             return f"{value:.3f}"
+        if abs(value) < 0.00005:
+            return f"{value:.3g}"
         return f"{value:.4f}"
     if isinstance(value, int) and abs(value) >= 10000:
         return f"{value:,d}"
@@ -28,8 +41,18 @@ def format_cell(value: object) -> str:
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """An aligned, pipe-separated text table."""
-    rendered = [[format_cell(v) for v in row] for row in rows]
+    """An aligned, pipe-separated text table.
+
+    Ragged input is tolerated: short rows pad with blanks, and rows
+    wider than the header grow blank-headed columns, so a benchmark
+    emitting an optional trailing column cannot crash its own report.
+    """
+    columns = max([len(headers), *(len(row) for row in rows)], default=0)
+    headers = [*headers, *[""] * (columns - len(headers))]
+    rendered = [
+        [format_cell(v) for v in row] + [""] * (columns - len(row))
+        for row in rows
+    ]
     widths = [len(h) for h in headers]
     for row in rendered:
         for column, cell in enumerate(row):

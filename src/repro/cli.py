@@ -1,5 +1,5 @@
 """Command-line interface: ``repro mine | recycle | update | compress | bench |
-miners | serve-batch | warehouse``.
+miners | serve-batch | warehouse | report``.
 
 Examples::
 
@@ -15,6 +15,9 @@ Examples::
     repro serve-batch --workload traffic.json --gateway --queue-depth 32 \
         --deadline 5 --priority interactive
     repro warehouse --dir ./wh --verify
+    repro report archive --git-history
+    repro report render --from-cached-data --output-dir report
+    repro report gate --policy trends/policy.toml
 """
 
 from __future__ import annotations
@@ -481,6 +484,61 @@ def _command_warehouse(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _command_report_archive(args: argparse.Namespace) -> int:
+    """Backfill the snapshot archive from the legacy root BENCH files."""
+    from repro.trends import ingest_legacy
+
+    written = ingest_legacy(
+        args.root,
+        history_dir=args.history_dir,
+        benches=args.bench or None,
+        git_history=args.git_history,
+    )
+    if not written:
+        print("nothing to archive: no legacy BENCH_*.json files found")
+        return 1
+    for snapshot in written:
+        print(
+            f"archived {snapshot.bench} @ {snapshot.commit_short} "
+            f"({snapshot.timestamp})"
+        )
+    print(f"{len(written)} snapshot(s) archived under {args.history_dir}")
+    return 0
+
+
+def _command_report_render(args: argparse.Namespace) -> int:
+    """Render markdown + HTML trend reports from archived snapshots."""
+    from repro.trends import SnapshotArchive, build_report_data, write_report
+
+    snapshots = SnapshotArchive(args.history_dir).load_all()
+    data = build_report_data(snapshots)
+    md_path, html_path = write_report(data, args.output_dir)
+    benches = len(data["benches"])
+    print(
+        f"rendered {data['snapshot_count']} snapshot(s) across "
+        f"{len(data['commits'])} commit(s) ({benches} bench(es))"
+    )
+    print(f"wrote {md_path}")
+    print(f"wrote {html_path}")
+    return 0
+
+
+def _command_report_gate(args: argparse.Namespace) -> int:
+    """Run the counter-based regression gate against the archive."""
+    from repro.trends import (
+        SnapshotArchive,
+        evaluate_gate,
+        format_gate,
+        load_policy,
+    )
+
+    policy = load_policy(args.policy)
+    snapshots = SnapshotArchive(args.history_dir).load_all()
+    result = evaluate_gate(snapshots, policy)
+    print(format_gate(result))
+    return 0 if result.ok else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     headers, rows = run_experiment(args.experiment, args.seed)
     print(render_report(f"experiment: {args.experiment}", headers, rows))
@@ -638,6 +696,59 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run verify_entry() integrity audits on "
                                 "every entry (exit 1 on any violation)")
     warehouse.set_defaults(handler=_command_warehouse)
+
+    report = commands.add_parser(
+        "report",
+        help="benchmark trend pipeline: archive snapshots, render trend "
+             "reports, run the counter regression gate",
+    )
+    verbs = report.add_subparsers(dest="verb", required=True)
+
+    def _add_history_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--history-dir", default=".bench_history",
+            help="snapshot archive directory (default: .bench_history)",
+        )
+
+    archive = verbs.add_parser(
+        "archive",
+        help="backfill the archive from the legacy root BENCH_*.json files",
+    )
+    _add_history_dir(archive)
+    archive.add_argument("--root", default=".",
+                         help="repository root holding the BENCH files "
+                              "(default: current directory)")
+    archive.add_argument("--bench", action="append",
+                         help="restrict to one bench name (repeatable)")
+    archive.add_argument("--git-history", action="store_true",
+                         help="replay every historical version of each "
+                              "BENCH file out of git, one snapshot per "
+                              "touching commit")
+    archive.set_defaults(handler=_command_report_archive)
+
+    render = verbs.add_parser(
+        "render",
+        help="render markdown + HTML trend reports from archived snapshots",
+    )
+    _add_history_dir(render)
+    render.add_argument("--output-dir", default="report",
+                        help="directory for trends.md / trends.html "
+                             "(default: report)")
+    render.add_argument("--from-cached-data", action="store_true",
+                        help="render purely from the archive (always true: "
+                             "rendering never re-runs benchmarks; the flag "
+                             "matches the fuzzbench pipeline idiom)")
+    render.set_defaults(handler=_command_report_render)
+
+    gate = verbs.add_parser(
+        "gate",
+        help="fail (exit 1) when a machine-independent counter regressed "
+             "past the policy budget against the best archived baseline",
+    )
+    _add_history_dir(gate)
+    gate.add_argument("--policy", default="trends/policy.toml",
+                      help="gate policy file (default: trends/policy.toml)")
+    gate.set_defaults(handler=_command_report_gate)
 
     miners = commands.add_parser(
         "miners", help="list the miner registry and its capabilities"

@@ -53,6 +53,10 @@ class GatewayError(ReproError):
     """Raised by the async gateway for ill-formed requests or configuration."""
 
 
+class TrendsError(ReproError):
+    """Raised by the trend pipeline for malformed snapshots or gate policies."""
+
+
 class InjectedFaultError(ReproError):
     """Raised by a firing :class:`repro.resilience.FaultInjector` fault point.
 

@@ -44,6 +44,14 @@ class TestRenderChart:
         chart = render_chart([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
         assert chart.count("o") >= 3
 
+    def test_unicode_series_names(self):
+        chart = render_chart(
+            [1, 2], {"naïve-ξ": [1.0, 2.0], "基线": [2.0, 1.0]}, title="ünicode"
+        )
+        assert "naïve-ξ" in chart
+        assert "基线" in chart
+        assert "ünicode" in chart
+
     def test_markers_land_in_order(self):
         """Higher values must render on higher rows (grid area only)."""
         chart = render_chart([1, 2], {"a": [0.0, 10.0]}, width=10, height=5)

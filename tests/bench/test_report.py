@@ -21,6 +21,23 @@ class TestFormatCell:
         assert format_cell(False) == "no"
         assert format_cell("abc") == "abc"
 
+    def test_non_finite_floats_render_explicitly(self):
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("-inf")) == "-inf"
+
+    def test_negative_floats(self):
+        assert format_cell(-3.14159) == "-3.142"
+        assert format_cell(-12345.6) == "-12,346"
+        assert format_cell(-0.12345) == "-0.1235"
+
+    def test_tiny_magnitudes_keep_their_sign(self):
+        # Below the 4-decimal resolution the ladder switches to
+        # significant digits instead of collapsing to "0.0000".
+        assert format_cell(1e-6) == "1e-06"
+        assert format_cell(-1e-6) == "-1e-06"
+        assert format_cell(-0.00004) == "-4e-05"
+
 
 class TestFormatTable:
     def test_alignment(self):
@@ -39,6 +56,29 @@ class TestFormatTable:
     def test_empty_rows(self):
         table = format_table(["a", "b"], [])
         assert len(table.splitlines()) == 2
+
+    def test_no_headers_no_rows(self):
+        assert format_table([], []) == "\n"
+
+    def test_short_rows_pad_with_blanks(self):
+        table = format_table(["a", "b", "c"], [["x"], ["y", 1, 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(lines[2].split()) == 1  # padded cells stay blank
+        assert lines[3].split() == ["y", "1", "2"]
+
+    def test_wide_rows_grow_blank_headed_columns(self):
+        table = format_table(["a"], [["x", "extra"]])
+        lines = table.splitlines()
+        assert "extra" in lines[2]
+        # The separator covers the grown column too.
+        assert len(lines[1]) >= len(lines[2].rstrip())
+
+    def test_unicode_headers(self):
+        table = format_table(["ξ", "naïve-工作"], [["α", 1.5]])
+        lines = table.splitlines()
+        assert "ξ" in lines[0] and "naïve-工作" in lines[0]
+        assert "α" in lines[2]
 
 
 class TestRenderReport:

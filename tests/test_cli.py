@@ -321,14 +321,146 @@ class TestWarehouseCommand:
         assert "full" in capsys.readouterr().out
 
 
+class TestReport:
+    @pytest.fixture
+    def archived_history(self, tmp_path):
+        """A two-commit archive plus a policy file, no git required."""
+        from repro.trends import Snapshot, SnapshotArchive
+
+        archive = SnapshotArchive(tmp_path / ".bench_history")
+        for commit, stamp, work in (
+            ("a" * 40, "2026-01-01T00:00:00+00:00", 1000),
+            ("b" * 40, "2026-02-01T00:00:00+00:00", 900),
+        ):
+            archive.write(Snapshot(
+                bench="service_load", commit=commit, timestamp=stamp,
+                seed=0, python="3.11", platform="test",
+                payload={"seed": 0, "results": [{
+                    "dataset": "connect4", "scenario": "batched",
+                    "total_work": work, "wall_s": 1.0,
+                }]},
+            ))
+        policy = tmp_path / "policy.toml"
+        policy.write_text(
+            "[gate]\nmax_regression_pct = 10.0\n\n"
+            "[[metric]]\n"
+            'name = "batched work"\n'
+            'bench = "service_load"\n'
+            'field = "total_work"\n'
+            'where = { dataset = "connect4", scenario = "batched" }\n'
+            'direction = "lower"\n',
+            encoding="utf-8",
+        )
+        return tmp_path, archive, policy
+
+    def test_archive_ingests_legacy_files(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "BENCH_parallel.json").write_text(
+            json.dumps({"seed": 0, "results": [{"jobs": 1, "speedup": 1.0}]})
+        )
+        code = main([
+            "report", "archive", "--root", str(tmp_path),
+            "--history-dir", str(tmp_path / ".bench_history"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "archived parallel" in out
+        assert (tmp_path / ".bench_history").is_dir()
+
+    def test_archive_empty_root_errors(self, tmp_path, capsys):
+        code = main([
+            "report", "archive", "--root", str(tmp_path),
+            "--history-dir", str(tmp_path / ".bench_history"),
+        ])
+        assert code == 1
+        assert "nothing to archive" in capsys.readouterr().out
+
+    def test_render_from_cached_data(self, archived_history, capsys):
+        tmp_path, _archive, _policy = archived_history
+        out_dir = tmp_path / "report"
+        code = main([
+            "report", "render",
+            "--history-dir", str(tmp_path / ".bench_history"),
+            "--output-dir", str(out_dir), "--from-cached-data",
+        ])
+        assert code == 0
+        md = (out_dir / "trends.md").read_text("utf-8")
+        html = (out_dir / "trends.html").read_text("utf-8")
+        assert "2 commit(s)" in capsys.readouterr().out
+        assert "aaaaaaaaaa" in md and "bbbbbbbbbb" in md
+        assert "<svg" in html
+
+    def test_render_empty_archive_errors(self, tmp_path, capsys):
+        code = main([
+            "report", "render",
+            "--history-dir", str(tmp_path / "absent"),
+            "--output-dir", str(tmp_path / "report"),
+        ])
+        assert code == 1
+        assert "no archived snapshots" in capsys.readouterr().err
+
+    def test_gate_passes_on_improvement(self, archived_history, capsys):
+        tmp_path, _archive, policy = archived_history
+        code = main([
+            "report", "gate",
+            "--history-dir", str(tmp_path / ".bench_history"),
+            "--policy", str(policy),
+        ])
+        assert code == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_gate_exits_nonzero_on_counter_regression(
+        self, archived_history, capsys
+    ):
+        from repro.trends import Snapshot
+
+        tmp_path, archive, policy = archived_history
+        # A third snapshot whose machine-independent counter is 50% worse
+        # than the best baseline; wall clock unchanged.
+        archive.write(Snapshot(
+            bench="service_load", commit="c" * 40,
+            timestamp="2026-03-01T00:00:00+00:00",
+            seed=0, python="3.11", platform="test",
+            payload={"seed": 0, "results": [{
+                "dataset": "connect4", "scenario": "batched",
+                "total_work": 1350, "wall_s": 1.0,
+            }]},
+        ))
+        code = main([
+            "report", "gate",
+            "--history-dir", str(tmp_path / ".bench_history"),
+            "--policy", str(policy),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL" in out
+        assert "+50.0% worse" in out
+
+    def test_gate_missing_policy_errors(self, archived_history, capsys):
+        tmp_path, _archive, _policy = archived_history
+        code = main([
+            "report", "gate",
+            "--history-dir", str(tmp_path / ".bench_history"),
+            "--policy", str(tmp_path / "absent.toml"),
+        ])
+        assert code == 1
+        assert "cannot read gate policy" in capsys.readouterr().err
+
+
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
         for command in (
-            "mine", "compress", "recycle", "bench", "serve-batch", "warehouse"
+            "mine", "compress", "recycle", "bench", "serve-batch",
+            "warehouse", "report",
         ):
             assert command in text
+
+    def test_report_requires_verb(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
 
     def test_bench_requires_experiment(self):
         with pytest.raises(SystemExit):

@@ -39,6 +39,14 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 #: ``ServiceStats.attach_gauges``), and the gateway itself must stay
 #: below ``repro.bench`` — benchmarks drive the gateway, never the
 #: reverse.
+#: ``repro.trends`` is the observability roof over the benchmarks: it
+#: reads archived snapshots and renders/gates them, so it may import
+#: the leaf utilities and ``repro.bench`` (table formatting) but never
+#: the engine, service or gateway — a trend report must be computable
+#: from cached data alone, with no mining machinery in scope. The
+#: reverse edge is banned too: ``repro.bench`` stays runnable without
+#: the archive (benchmark scripts call the snapshot writer themselves,
+#: from outside the package).
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.data": (
         "repro.core",
@@ -80,8 +88,19 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.service",
         "repro.storage",
     ),
-    "repro.service": ("repro.gateway",),
-    "repro.gateway": ("repro.bench",),
+    "repro.service": ("repro.gateway", "repro.trends"),
+    "repro.gateway": ("repro.bench", "repro.trends"),
+    "repro.bench": ("repro.trends",),
+    "repro.trends": (
+        "repro.core",
+        "repro.data",
+        "repro.gateway",
+        "repro.mining",
+        "repro.parallel",
+        "repro.resilience",
+        "repro.service",
+        "repro.storage",
+    ),
 }
 
 

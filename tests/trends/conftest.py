@@ -1,0 +1,40 @@
+"""Shared snapshot builders for the trend-pipeline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trends import Snapshot
+
+
+def make_snapshot(
+    bench: str = "service_load",
+    commit: str = "a" * 40,
+    timestamp: str = "2026-08-01T00:00:00+00:00",
+    rows: list[dict] | None = None,
+    **payload_extra,
+) -> Snapshot:
+    rows = rows if rows is not None else [
+        {
+            "dataset": "connect4",
+            "scenario": "batched",
+            "total_work": 1000,
+            "computations": 4,
+            "interactive_p99_work": 500.0,
+            "wall_s": 1.25,
+        }
+    ]
+    return Snapshot(
+        bench=bench,
+        commit=commit,
+        timestamp=timestamp,
+        seed=0,
+        python="3.11.0",
+        platform="test",
+        payload={"seed": 0, "results": rows, **payload_extra},
+    )
+
+
+@pytest.fixture
+def snapshot() -> Snapshot:
+    return make_snapshot()

@@ -1,0 +1,244 @@
+"""The counter-based regression gate and its policy parser."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.errors import TrendsError
+from repro.trends import (
+    GatePolicy,
+    PolicyMetric,
+    TrendMetric,
+    evaluate_gate,
+    format_gate,
+    load_policy,
+    parse_minimal_toml,
+)
+
+from tests.trends.conftest import make_snapshot
+
+
+def _history(older_work: float, newer_work: float) -> list:
+    """Two service-load snapshots at different commits, counters only differing."""
+    return [
+        make_snapshot(
+            commit="a" * 40,
+            timestamp="2026-01-01T00:00:00+00:00",
+            rows=[{"dataset": "connect4", "scenario": "batched",
+                   "total_work": older_work, "wall_s": 1.0}],
+        ),
+        make_snapshot(
+            commit="b" * 40,
+            timestamp="2026-02-01T00:00:00+00:00",
+            rows=[{"dataset": "connect4", "scenario": "batched",
+                   "total_work": newer_work, "wall_s": 50.0}],
+        ),
+    ]
+
+
+def _work_policy(budget: float = 10.0) -> GatePolicy:
+    metric = TrendMetric(
+        name="work", bench="service_load", field="total_work",
+        where={"scenario": "batched"}, direction="lower",
+    )
+    return GatePolicy(budget, (PolicyMetric(metric, budget),))
+
+
+class TestEvaluateGate:
+    def test_counter_regression_over_budget_fails(self):
+        # 25% more machine-independent work against a 10% budget.
+        result = evaluate_gate(_history(1000, 1250), _work_policy(10.0))
+        assert not result.ok
+        verdict = result.verdicts[0]
+        assert verdict.status == "regressed"
+        assert verdict.change_pct == pytest.approx(25.0)
+        assert verdict.baseline_commit == "a" * 10
+        assert verdict.candidate_commit == "b" * 10
+
+    def test_regression_within_budget_passes(self):
+        result = evaluate_gate(_history(1000, 1050), _work_policy(10.0))
+        assert result.ok
+        assert result.verdicts[0].status == "ok"
+
+    def test_improvement_passes(self):
+        result = evaluate_gate(_history(1000, 800), _work_policy(10.0))
+        assert result.ok
+        assert result.verdicts[0].change_pct == pytest.approx(-20.0)
+
+    def test_wall_clock_regression_alone_never_fails(self):
+        # The newer snapshot's wall time exploded 50x; an advisory
+        # wall-clock metric flags it but the gate still passes.
+        metric = TrendMetric(
+            name="wall", bench="service_load", field="wall_s",
+            where={"scenario": "batched"}, direction="lower", advisory=True,
+        )
+        policy = GatePolicy(10.0, (PolicyMetric(metric, 10.0),))
+        result = evaluate_gate(_history(1000, 1000), policy)
+        assert result.ok
+        assert result.verdicts[0].status == "advisory-regressed"
+        assert not result.verdicts[0].fails
+
+    def test_direction_higher(self):
+        metric = TrendMetric(
+            name="hit rate", bench="service_load", field="total_work",
+            where={"scenario": "batched"}, direction="higher",
+        )
+        policy = GatePolicy(10.0, (PolicyMetric(metric, 10.0),))
+        # Dropping from 1000 to 700 is a 30% regression when higher is better.
+        result = evaluate_gate(_history(1000, 700), policy)
+        assert not result.ok
+        assert result.verdicts[0].change_pct == pytest.approx(30.0)
+        # And rising passes.
+        assert evaluate_gate(_history(1000, 1500), policy).ok
+
+    def test_baseline_is_the_best_older_value_not_the_previous(self):
+        history = _history(1000, 1050)
+        history.insert(1, make_snapshot(
+            commit="c" * 40,
+            timestamp="2026-01-15T00:00:00+00:00",
+            rows=[{"dataset": "connect4", "scenario": "batched",
+                   "total_work": 2000, "wall_s": 1.0}],
+        ))
+        result = evaluate_gate(history, _work_policy(10.0))
+        # Compared against the best (1000), not the sloppier middle run.
+        assert result.verdicts[0].baseline == 1000.0
+        assert result.ok
+
+    def test_no_baseline_passes(self):
+        result = evaluate_gate(_history(1000, 1250)[-1:], _work_policy(10.0))
+        assert result.ok
+        assert result.verdicts[0].status == "no-baseline"
+
+    def test_missing_metric_fails(self):
+        history = _history(1000, 1000)
+        history[-1].payload["results"][0].pop("total_work")
+        result = evaluate_gate(history, _work_policy(10.0))
+        assert not result.ok
+        assert result.verdicts[0].status == "missing"
+
+    def test_missing_bench_fails(self):
+        result = evaluate_gate([], _work_policy(10.0))
+        assert not result.ok
+        assert result.verdicts[0].status == "missing"
+
+    def test_zero_baseline_edges(self):
+        assert evaluate_gate(_history(0, 0), _work_policy(10.0)).ok
+        worse = evaluate_gate(_history(0, 5), _work_policy(10.0))
+        assert not worse.ok
+        assert worse.verdicts[0].change_pct == float("inf")
+
+
+class TestFormatGate:
+    def test_pass_and_fail_lines(self):
+        passing = format_gate(evaluate_gate(_history(1000, 900), _work_policy()))
+        assert "gate: PASS" in passing
+        failing = format_gate(evaluate_gate(_history(1000, 1500), _work_policy()))
+        assert "gate: FAIL (1 metric(s) regressed)" in failing
+        assert "+50.0% worse" in failing
+
+    def test_advisory_is_labelled(self):
+        metric = TrendMetric(
+            name="wall", bench="service_load", field="wall_s",
+            where={"scenario": "batched"}, direction="lower", advisory=True,
+        )
+        policy = GatePolicy(10.0, (PolicyMetric(metric, 10.0),))
+        out = format_gate(evaluate_gate(_history(1000, 1000), policy))
+        assert "[advisory]" in out
+        assert "gate: PASS" in out
+
+
+POLICY_TEXT = textwrap.dedent(
+    """
+    # counters gate; wall clock is advisory
+    [gate]
+    max_regression_pct = 10.0
+
+    [[metric]]
+    name = "batched work"
+    bench = "service_load"
+    field = "total_work"
+    where = { dataset = "connect4", scenario = "batched" }
+    direction = "lower"
+
+    [[metric]]
+    name = "jobs=4 speedup"  # wall clock
+    bench = "parallel"
+    field = "speedup"
+    where = { jobs = 4 }
+    direction = "higher"
+    advisory = true
+    max_regression_pct = 25.5
+    """
+)
+
+
+class TestPolicyParsing:
+    def test_load_policy(self, tmp_path):
+        path = tmp_path / "policy.toml"
+        path.write_text(POLICY_TEXT, encoding="utf-8")
+        policy = load_policy(path)
+        assert policy.max_regression_pct == 10.0
+        assert len(policy.metrics) == 2
+        first, second = policy.metrics
+        assert first.metric.where == {"dataset": "connect4", "scenario": "batched"}
+        assert first.max_regression_pct == 10.0
+        assert second.metric.advisory
+        assert second.max_regression_pct == 25.5
+
+    def test_minimal_parser_matches_policy_shape(self):
+        data = parse_minimal_toml(POLICY_TEXT)
+        assert data["gate"]["max_regression_pct"] == 10.0
+        assert len(data["metric"]) == 2
+        assert data["metric"][0]["where"] == {
+            "dataset": "connect4", "scenario": "batched",
+        }
+        assert data["metric"][1]["advisory"] is True
+        assert data["metric"][1]["max_regression_pct"] == 25.5
+
+    def test_minimal_parser_against_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        assert parse_minimal_toml(POLICY_TEXT) == tomllib.loads(POLICY_TEXT)
+
+    def test_minimal_parser_respects_strings_with_hashes(self):
+        data = parse_minimal_toml('[t]\nk = "a # not a comment"')
+        assert data["t"]["k"] == "a # not a comment"
+
+    def test_minimal_parser_rejects_garbage(self):
+        with pytest.raises(TrendsError, match="cannot parse line"):
+            parse_minimal_toml("just words")
+        with pytest.raises(TrendsError, match="cannot parse value"):
+            parse_minimal_toml("k = unquoted")
+        with pytest.raises(TrendsError, match="inline table"):
+            parse_minimal_toml("k = { broken }")
+
+    def test_policy_validation(self, tmp_path):
+        path = tmp_path / "policy.toml"
+        path.write_text("[gate]\nmax_regression_pct = 5.0\n", encoding="utf-8")
+        with pytest.raises(TrendsError, match="no \\[\\[metric\\]\\]"):
+            load_policy(path)
+        path.write_text(
+            '[[metric]]\nname = "x"\nfield = "f"\n', encoding="utf-8"
+        )
+        with pytest.raises(TrendsError, match="'bench'"):
+            load_policy(path)
+
+    def test_missing_policy_file(self, tmp_path):
+        with pytest.raises(TrendsError, match="cannot read gate policy"):
+            load_policy(tmp_path / "absent.toml")
+
+    def test_repo_policy_file_loads(self):
+        from pathlib import Path
+
+        repo_policy = Path(__file__).resolve().parents[2] / "trends" / "policy.toml"
+        policy = load_policy(repo_policy)
+        assert policy.metrics
+        # Both parsers must accept the shipped policy, whatever python
+        # version is running the suite.
+        data = parse_minimal_toml(repo_policy.read_text("utf-8"))
+        assert len(data["metric"]) == len(policy.metrics)
+        # Wall-clock metrics must all be advisory in the shipped policy.
+        for entry in policy.metrics:
+            if "wall" in entry.metric.name or entry.metric.field == "speedup":
+                assert entry.metric.advisory
