@@ -15,6 +15,8 @@ Examples::
     repro serve-batch --workload traffic.json --gateway --queue-depth 32 \
         --deadline 5 --priority interactive
     repro warehouse --dir ./wh --verify
+    repro warehouse recover --dir ./wh
+    repro warehouse --dir ./wh --gc --dry-run
     repro report archive --git-history
     repro report render --from-cached-data --output-dir report
     repro report gate --policy trends/policy.toml
@@ -417,6 +419,18 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 f"warehouse: {wh['quarantined']} corrupt pattern file(s) "
                 "quarantined at load"
             )
+        if wh["recovered_entries"] or wh["recovered_chains"]:
+            print(
+                f"warehouse: recovered {wh['recovered_entries']} entr"
+                f"{'y' if wh['recovered_entries'] == 1 else 'ies'} and "
+                f"{wh['recovered_chains']} chain record(s) from disk "
+                f"({wh['journal_replays']} journal replay(s))"
+            )
+        if wh["gc_dropped_links"] or wh["gc_collapsed_hops"]:
+            print(
+                f"warehouse: gc dropped {wh['gc_dropped_links']} dead "
+                f"link(s), collapsed {wh['gc_collapsed_hops']} chain hop(s)"
+            )
         if wh["memory_only"]:
             print(
                 "warehouse: degraded to memory-only "
@@ -426,16 +440,29 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
 
 def _command_warehouse(args: argparse.Namespace) -> int:
-    """Inspect (and optionally audit) a disk-backed pattern warehouse."""
+    """Inspect, audit-recover, or garbage-collect a disk-backed warehouse."""
     from repro.service import PatternWarehouse
 
-    # Inspection must not rewrite files behind the user's back, so the
-    # load-time migration that a serving warehouse performs is disabled;
-    # the representation knob only matters for writes, which this
-    # command never does.
+    # Inspection must not rewrite files behind the user's back: the
+    # load-time migration a serving warehouse performs is disabled, and
+    # crash recovery runs in audit mode (counted, not applied) unless
+    # the invocation explicitly mutates — the `recover` verb repairs,
+    # and a non-dry `--gc` implies repairing first so collection never
+    # runs over an unresolved journal.
+    mutating = args.verb == "recover" or (args.gc and not args.dry_run)
     warehouse = PatternWarehouse(
-        directory=args.dir, migrate_on_load=False
+        directory=args.dir, migrate_on_load=False, repair_on_load=mutating
     )
+    if args.verb == "recover":
+        return _warehouse_recover(args, warehouse)
+    result = _warehouse_list(args, warehouse)
+    if args.gc:
+        _warehouse_gc(args, warehouse)
+    return result
+
+
+def _warehouse_list(args: argparse.Namespace, warehouse) -> int:
+    """The default verb: entry table, stats, optional ``--verify`` audit."""
     rows_data = warehouse.describe_entries()
     headers = [
         "fingerprint", "support", "repr", "entries",
@@ -482,6 +509,45 @@ def _command_warehouse(args: argparse.Namespace) -> int:
             for violation in report.violations:
                 print(f"  - {violation}")
     return 1 if failures else 0
+
+
+def _warehouse_recover(args: argparse.Namespace, warehouse) -> int:
+    """The ``recover`` verb: replay the journal and report what it took.
+
+    Exit status 1 signals quarantined damage — recovery still restored
+    everything restorable, but some file was torn beyond its checksum.
+    """
+    report = warehouse.recovery_report
+    stats = warehouse.stats()
+    print(f"recover: {args.dir}")
+    print(
+        f"{stats['entries']} entries, {stats['chain_records']} chain "
+        f"record(s), {report.recovered_links} lineage link(s) recovered"
+    )
+    print(
+        f"journal: {report.journal_replays} replay(s), "
+        f"{report.torn_journal_lines} torn line(s) dropped"
+    )
+    if report.stray_tmp_removed:
+        print(f"{report.stray_tmp_removed} stray temp file(s) swept")
+    for name, reason in report.quarantined:
+        print(f"quarantined {name}: {reason}")
+    if args.gc:
+        _warehouse_gc(args, warehouse)
+    return 1 if report.quarantined else 0
+
+
+def _warehouse_gc(args: argparse.Namespace, warehouse) -> None:
+    """Run (or plan, with ``--dry-run``) one garbage-collection pass."""
+    report = warehouse.gc(dry_run=args.dry_run)
+    verb = "would drop" if report.dry_run else "dropped"
+    print(
+        f"gc{' (dry run)' if report.dry_run else ''}: "
+        f"{verb} {report.dropped_links} dead link(s) and "
+        f"{report.dropped_chain_files} chain file(s), collapsed "
+        f"{report.collapsed_hops} hop(s) into "
+        f"{report.rewritten_chains} rewritten chain(s)"
+    )
 
 
 def _command_report_archive(args: argparse.Namespace) -> int:
@@ -690,8 +756,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect a disk-backed pattern warehouse (entries, "
              "representations, condensation; --verify audits integrity)",
     )
+    warehouse.add_argument("verb", nargs="?", choices=["list", "recover"],
+                           default="list",
+                           help="list entries (default) or replay the "
+                                "journal and audit crash recovery")
     warehouse.add_argument("--dir", required=True,
                            help="the warehouse directory to inspect")
+    warehouse.add_argument("--gc", action="store_true",
+                           help="garbage-collect dead lineage links and "
+                                "compact ancient chain hops")
+    warehouse.add_argument("--dry-run", action="store_true",
+                           help="with --gc: plan and report without "
+                                "touching the directory")
     warehouse.add_argument("--verify", action="store_true",
                            help="run verify_entry() integrity audits on "
                                 "every entry (exit 1 on any violation)")

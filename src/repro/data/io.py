@@ -199,23 +199,24 @@ def write_patterns_with_support(
         raise
 
 
-def write_warehouse_entry(
+def warehouse_entry_text(
     condensed: CondensedPatternSet,
-    path: str | Path,
     *,
     full_bytes: int | None = None,
-) -> None:
-    """Atomically persist a (possibly condensed) warehouse entry.
+) -> str:
+    """The full file text of a warehouse entry (headers + body).
 
-    Extends :func:`write_patterns_with_support` with the representation
-    headers: ``# repr=`` names how to read the body's rows, ``ndi``
-    entries carry ``# n_transactions=`` and ``# ndi_depth=`` (both
-    needed to replay the deduction rules losslessly), and an optional
-    ``# full_bytes=`` gauge records the expanded set's byte-model size.
-    Metadata headers sit *between* the support header and the checksum,
-    so the checksum still covers exactly the body rows.
+    Extends the :func:`write_patterns_with_support` layout with the
+    representation headers: ``# repr=`` names how to read the body's
+    rows, ``ndi`` entries carry ``# n_transactions=`` and
+    ``# ndi_depth=`` (both needed to replay the deduction rules
+    losslessly), and an optional ``# full_bytes=`` gauge records the
+    expanded set's byte-model size. Metadata headers sit *between* the
+    support header and the checksum, so the checksum still covers
+    exactly the body rows. Split out of :func:`write_warehouse_entry`
+    so the durability layer can render the same bytes and route them
+    through its own journaled atomic writer.
     """
-    path = Path(path)
     body = _pattern_body(condensed.entry_patterns())
     headers = [
         f"{SUPPORT_HEADER_PREFIX}{condensed.absolute_support}",
@@ -228,12 +229,27 @@ def write_warehouse_entry(
     if full_bytes is not None:
         headers.append(f"{FULL_BYTES_HEADER_PREFIX}{full_bytes}")
     headers.append(f"{CHECKSUM_HEADER_PREFIX}{pattern_body_checksum(body)}")
+    return "".join(f"{line}\n" for line in headers) + body
+
+
+def write_warehouse_entry(
+    condensed: CondensedPatternSet,
+    path: str | Path,
+    *,
+    full_bytes: int | None = None,
+) -> None:
+    """Atomically persist a (possibly condensed) warehouse entry.
+
+    Renders :func:`warehouse_entry_text` once into a sibling temp file
+    and moves it into place with :func:`os.replace`, exactly like
+    :func:`write_patterns_with_support`.
+    """
+    path = Path(path)
+    text = warehouse_entry_text(condensed, full_bytes=full_bytes)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            for line in headers:
-                handle.write(f"{line}\n")
-            handle.write(body)
+            handle.write(text)
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -190,6 +190,16 @@ class VersionedDatabase:
         """The delta that produced this version (None at the root)."""
         return self._delta
 
+    @property
+    def next_tid(self) -> int:
+        """The chain-wide fresh-tid high-water mark at this version.
+
+        What :meth:`apply` hands the next delta; durable chain records
+        carry it so a restored chain keeps assigning tids exactly where
+        the pre-crash chain would have.
+        """
+        return self._next_tid
+
     def fingerprint(self) -> str:
         """This version's content hash (same key the warehouse uses)."""
         return self._db.fingerprint()

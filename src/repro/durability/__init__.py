@@ -1,0 +1,88 @@
+"""Crash-safe persistence and recovery for the mining service.
+
+The paper's premise is that previously mined patterns are an asset worth
+recycling — an asset that must therefore survive the process. Before
+this package, only warehouse ``.patterns`` files did: version chains and
+lineage links lived in memory, so a restart lost the planner's *update*
+path and every ``ancestor_feedstock`` route. ``repro.durability`` is the
+layer that makes the whole recycling state durable:
+
+:mod:`repro.durability.atomic`
+    The single atomic writer (temp + fsync + ``os.replace``) every
+    durable file goes through, with the ``persist.write`` /
+    ``persist.rename`` / ``persist.manifest`` fault points wired in.
+:mod:`repro.durability.journal`
+    The write-ahead :class:`WriteAheadJournal`: checksummed begin/commit
+    intent lines bracketing every mutation, torn-tail tolerant, compacted
+    atomically.
+:mod:`repro.durability.chains`
+    Durable :class:`ChainRecord` hops (tid-stamped append/delete rows)
+    that invert, apply and compose exactly — the file format behind
+    fingerprint-identical chain restore.
+:mod:`repro.durability.gc`
+    Pure GC planning: reachability pruning of dead lineage and
+    compaction of ancient hops into composed records.
+:mod:`repro.durability.store`
+    :class:`DurableStore`, tying the above to one warehouse directory
+    with :meth:`~DurableStore.recover` — journal replay, stray-temp
+    sweep, quarantine, manifest + chain reload.
+
+Layering: imports :mod:`repro.data` and :mod:`repro.resilience` only;
+:mod:`repro.service` builds on it, never the other way around (enforced
+in ``tests/test_layering.py``).
+"""
+
+from __future__ import annotations
+
+from repro.durability.atomic import atomic_write_text, sweep_tmp_files
+from repro.durability.chains import (
+    CHAIN_FORMAT_VERSION,
+    CHAIN_SUFFIX,
+    ChainRecord,
+    apply_record,
+    chain_record_text,
+    compose_records,
+    invert_record,
+    read_chain_record,
+    record_from_node,
+    restore_version,
+)
+from repro.durability.gc import GCPlan, GCReport, plan_gc
+from repro.durability.journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalRecord,
+    WriteAheadJournal,
+)
+from repro.durability.store import (
+    CHAINS_DIR,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    DurableStore,
+    RecoveryReport,
+)
+
+__all__ = [
+    "CHAINS_DIR",
+    "CHAIN_FORMAT_VERSION",
+    "CHAIN_SUFFIX",
+    "JOURNAL_FORMAT_VERSION",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "ChainRecord",
+    "DurableStore",
+    "GCPlan",
+    "GCReport",
+    "JournalRecord",
+    "RecoveryReport",
+    "WriteAheadJournal",
+    "apply_record",
+    "atomic_write_text",
+    "chain_record_text",
+    "compose_records",
+    "invert_record",
+    "plan_gc",
+    "read_chain_record",
+    "record_from_node",
+    "restore_version",
+    "sweep_tmp_files",
+]

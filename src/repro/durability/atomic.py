@@ -1,0 +1,105 @@
+"""The one atomic file writer the durability layer routes bytes through.
+
+Every durable artifact — journal compactions, chain files, the lineage
+manifest, warehouse entry bodies — reaches disk the same way: rendered
+once into a sibling ``*.tmp`` file, flushed and fsynced, then moved into
+place with :func:`os.replace`. A kill at any byte offset therefore
+leaves either the old file or the new file, never a torn one; the worst
+residue is a stray temp file, which recovery sweeps up.
+
+The two crash windows are named fault points
+(:data:`~repro.resilience.faults.PERSIST_WRITE` mid temp-file,
+:data:`~repro.resilience.faults.PERSIST_RENAME` between a complete temp
+file and the rename; the manifest's write window fires
+:data:`~repro.resilience.faults.PERSIST_MANIFEST` instead so the chaos
+harness can target it independently). When a write fault fires, the
+helper deliberately leaves *half the payload* in the temp file before
+raising — the bytes look exactly like a hard kill mid-``write(2)``, so
+recovery tests exercise the real torn-file path, not a polite fiction.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import InjectedFaultError
+from repro.resilience.faults import PERSIST_RENAME, PERSIST_WRITE, FiredFault
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.resilience.faults import FaultInjector
+
+#: Suffix every in-flight temp file carries; recovery globs and removes.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str,
+    *,
+    faults: "FaultInjector | None" = None,
+    write_point: str = PERSIST_WRITE,
+    detail: str = "",
+) -> None:
+    """Atomically replace ``path`` with ``text`` (write → fsync → rename).
+
+    ``write_point`` names the fault point fired before the payload hits
+    the temp file (the manifest writer passes
+    :data:`~repro.resilience.faults.PERSIST_MANIFEST`);
+    :data:`~repro.resilience.faults.PERSIST_RENAME` always guards the
+    rename. On an injected write fault, half the payload is written
+    first so the temp file is genuinely torn. An injected kill leaves
+    its temp file on disk — that stray ``*.tmp`` IS the crash residue
+    recovery must sweep, so cleaning it here would un-test recovery;
+    real ``OSError`` failures still remove theirs.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=TMP_SUFFIX
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            if faults is not None:
+                fired = faults.evaluate(write_point)
+                if fired is not None:
+                    handle.write(text[: len(text) // 2])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise _killed(write_point, fired, detail or path.name)
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if faults is not None:
+            faults.fire(PERSIST_RENAME, detail or str(path.name))
+        os.replace(tmp_name, path)
+    except InjectedFaultError:
+        raise
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _killed(point: str, fired: FiredFault, detail: object) -> InjectedFaultError:
+    return InjectedFaultError(
+        f"{point}: injected fault on call {fired.call} {detail}"
+    )
+
+
+def sweep_tmp_files(directory: str | Path) -> int:
+    """Remove stray ``*.tmp`` files left by a kill; returns the count."""
+    directory = Path(directory)
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    for stray in sorted(directory.glob(f"*{TMP_SUFFIX}")):
+        try:
+            stray.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed

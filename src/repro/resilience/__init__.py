@@ -9,10 +9,11 @@ kept deliberately low in the layer diagram (it imports nothing above
 :mod:`repro.core`, :mod:`repro.parallel` and :mod:`repro.service`):
 
 :mod:`repro.resilience.faults`
-    A seeded, deterministic :class:`FaultInjector` with six named fault
+    A seeded, deterministic :class:`FaultInjector` with nine named fault
     points (``shard.crash``, ``shard.slow``, ``warehouse.read``,
-    ``warehouse.write``, ``merge.count``, ``update.patch``) — the chaos
-    harness every resilience test is written against.
+    ``warehouse.write``, ``merge.count``, ``update.patch``,
+    ``persist.write``, ``persist.rename``, ``persist.manifest``) — the
+    chaos harness every resilience test is written against.
 :mod:`repro.resilience.retry`
     :class:`RetryPolicy` (capped exponential backoff, deterministic
     jitter) and the three-state :class:`CircuitBreaker` that trips the
@@ -52,6 +53,10 @@ from repro.resilience.degradation import (
 from repro.resilience.faults import (
     FAULT_POINTS,
     MERGE_COUNT,
+    PERSIST_FAULT_POINTS,
+    PERSIST_MANIFEST,
+    PERSIST_RENAME,
+    PERSIST_WRITE,
     SHARD_CRASH,
     SHARD_SLOW,
     UPDATE_PATCH,
@@ -92,6 +97,10 @@ __all__ = [
     "HALF_OPEN",
     "MERGE_COUNT",
     "OPEN",
+    "PERSIST_FAULT_POINTS",
+    "PERSIST_MANIFEST",
+    "PERSIST_RENAME",
+    "PERSIST_WRITE",
     "REASON_CIRCUIT_OPEN",
     "REASON_DEADLINE",
     "REASON_DEADLINE_EXPIRED",

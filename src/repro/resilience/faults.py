@@ -3,10 +3,13 @@
 A long-running mining service fails in a handful of well-understood
 places: a shard worker crashes, a shard runs slow, a warehouse file read
 comes back corrupt, a write-through to disk fails, the merge recount
-blows up, or an incremental update dies mid-patch. :class:`FaultInjector`
-names exactly those places as **fault points** and lets a test (or a chaos CI job) arm them with deterministic
-triggers — *fire on call 3*, *fire with probability 0.2 under seed 7* —
-so the same seed always produces the same failure schedule.
+blows up, an incremental update dies mid-patch, or the process is killed
+partway through a durable write (mid temp-file, pre-rename, or
+mid-manifest). :class:`FaultInjector` names exactly those places as
+**fault points** and lets a test (or a chaos CI job) arm them with
+deterministic triggers — *fire on call 3*, *fire with probability 0.2
+under seed 7* — so the same seed always produces the same failure
+schedule.
 
 The injector raises :class:`~repro.errors.InjectedFaultError`, a
 :class:`~repro.errors.ReproError` subclass, so injected chaos flows
@@ -45,12 +48,26 @@ MERGE_COUNT = "merge.count"
 #: the executor must fall back to a clean scratch mine, never serve a
 #: half-patched pattern set.
 UPDATE_PATCH = "update.patch"
+#: The durability layer dies while writing a temp file (journal append,
+#: chain file or entry body) — the bytes on disk stop mid-payload, the
+#: way a hard kill leaves them.
+PERSIST_WRITE = "persist.write"
+#: The durability layer dies between the temp-file write and the atomic
+#: ``os.replace`` — the temp file is complete but the target still holds
+#: the old state.
+PERSIST_RENAME = "persist.rename"
+#: The lineage manifest rewrite dies before its atomic rename lands.
+PERSIST_MANIFEST = "persist.manifest"
 
 #: Every named fault point an injector will accept.
 FAULT_POINTS = frozenset(
     {SHARD_CRASH, SHARD_SLOW, WAREHOUSE_READ, WAREHOUSE_WRITE, MERGE_COUNT,
-     UPDATE_PATCH}
+     UPDATE_PATCH, PERSIST_WRITE, PERSIST_RENAME, PERSIST_MANIFEST}
 )
+
+#: The three durability-layer points, in the order a single persisted
+#: mutation passes them — the kill-mid-write chaos harness iterates this.
+PERSIST_FAULT_POINTS = (PERSIST_WRITE, PERSIST_RENAME, PERSIST_MANIFEST)
 
 
 @dataclass(frozen=True)

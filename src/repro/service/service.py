@@ -61,6 +61,7 @@ from repro.core.planner import (
 )
 from repro.data.transactions import TransactionDatabase
 from repro.data.versioned import DatabaseDelta, VersionedDatabase
+from repro.durability import record_from_node
 from repro.errors import ReproError
 from repro.metrics.counters import CostCounters
 from repro.metrics.reservoir import LatencyReservoir
@@ -367,6 +368,11 @@ class ServiceStats:
             "warehouse_full_bytes": float(stats["full_bytes"]),
             "warehouse_condensation_ratio": self._warehouse.condensation_ratio(),
             "warehouse_migrated": float(stats["migrated"]),
+            "recovered_entries": float(stats["recovered_entries"]),
+            "recovered_chains": float(stats["recovered_chains"]),
+            "journal_replays": float(stats["journal_replays"]),
+            "gc_dropped_links": float(stats["gc_dropped_links"]),
+            "gc_collapsed_hops": float(stats["gc_collapsed_hops"]),
         }
 
 
@@ -536,12 +542,19 @@ class MiningService:
         for node in version.chain():
             if node.parent is None or node.delta is None:
                 continue
+            fingerprint = node.fingerprint()
             self.warehouse.record_lineage(
-                node.fingerprint(),
+                fingerprint,
                 node.parent.fingerprint(),
                 node.delta_fingerprint,
                 node.delta.size,
             )
+            # Persist the hop itself, not just the routing link: the
+            # durable ChainRecord is what lets a *restarted* service
+            # rebuild this chain (restore_version) and keep serving the
+            # update path without the tenant resubmitting its history.
+            if not self.warehouse.has_chain(fingerprint):
+                self.warehouse.persist_chain(record_from_node(node))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -624,15 +637,20 @@ class MiningService:
         counters = CostCounters()
         degradation = DegradationReport()
         started = time.perf_counter()
-        hit = self._find_feedstock(
-            fingerprint, absolute, degradation, version=request.version
-        )
+        version = request.version
+        if version is None and self.warehouse is not None:
+            # An unversioned request may be a post-restart resubmit of a
+            # database whose chain was persisted before the crash.
+            # Rebuilding it from durable chain records re-opens the
+            # update path instead of mining the new version cold.
+            version = self.warehouse.restore_version(request.db)
+        hit = self._find_feedstock(fingerprint, absolute, degradation, version=version)
         # The plan consumes the warehouse entry in its stored (condensed)
         # form: a filter answers straight off the condensed set, and the
         # recycle path claims compression from the entries without ever
         # materializing the full expansion.
         if hit is not None and hit.distance > 0:
-            plan = self._plan_from_ancestor(request, absolute, hit)
+            plan = self._plan_from_ancestor(request, absolute, hit, version)
         else:
             plan = plan_support_path(
                 absolute,
@@ -715,25 +733,29 @@ class MiningService:
         )
 
     def _plan_from_ancestor(
-        self, request: MineRequest, absolute: int, hit
+        self,
+        request: MineRequest,
+        absolute: int,
+        hit,
+        version: VersionedDatabase | None,
     ) -> MiningPlan:
         """Turn an ancestor warehouse hit into an update (or fallback) plan.
 
-        When the request's chain object still holds the ancestor, the
-        exact delta is reconstructible and the full FUP/recycle/mine
-        arbitration applies. A registry-only hit (chain object gone, only
-        the warehouse's lineage links survive) cannot rebuild the
-        ancestor database, so FUP is off the table — but recycling the
-        ancestor's patterns as compression vocabulary is still sound,
-        supports being mere utility estimates across versions.
+        ``version`` is the chain the feedstock lookup walked — the
+        request's own, or one rebuilt from durable chain records for an
+        unversioned post-restart request. When it still holds the
+        ancestor, the exact delta is reconstructible and the full
+        FUP/recycle/mine arbitration applies. A registry-only hit (chain
+        gone, only the warehouse's lineage links survive) cannot rebuild
+        the ancestor database, so FUP is off the table — but recycling
+        the ancestor's patterns as compression vocabulary is still
+        sound, supports being mere utility estimates across versions.
         """
         ancestor = (
-            request.version.ancestor(hit.fingerprint)
-            if request.version is not None
-            else None
+            version.ancestor(hit.fingerprint) if version is not None else None
         )
         if ancestor is not None:
-            delta = request.version.delta_from(ancestor)
+            delta = version.delta_from(ancestor)
             return plan_update_path(
                 absolute,
                 hit.feedstock,

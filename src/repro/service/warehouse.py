@@ -67,6 +67,10 @@ from pathlib import Path
 
 from repro.data.io import read_warehouse_entry, write_warehouse_entry
 from repro.data.patterns import REPRESENTATIONS, CondensedPatternSet
+from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import VersionedDatabase
+from repro.durability import ChainRecord, DurableStore, RecoveryReport
+from repro.durability.gc import GCReport, plan_gc
 from repro.errors import DataError, InjectedFaultError, StorageError
 from repro.mining.patterns import PatternSet
 from repro.resilience import WAREHOUSE_READ, WAREHOUSE_WRITE, FaultInjector
@@ -154,6 +158,12 @@ class PatternWarehouse:
         representation differs from ``representation`` (pre-condensation
         full-set files get condensed on first load). Disable for
         read-only inspection of an existing directory.
+    repair_on_load:
+        When persisting, run full crash recovery before the directory
+        scan — replay pending journal records, sweep stray temp files,
+        quarantine torn chain/manifest files, compact the journal.
+        Disable for read-only inspection (``recover(apply=False)`` still
+        audits; the registries load identically either way).
     """
 
     def __init__(
@@ -163,6 +173,7 @@ class PatternWarehouse:
         fault_injector: FaultInjector | None = None,
         representation: str = "closed",
         migrate_on_load: bool = True,
+        repair_on_load: bool = True,
     ) -> None:
         if byte_budget is not None and byte_budget <= 0:
             raise StorageError(f"byte_budget must be positive, got {byte_budget}")
@@ -186,8 +197,8 @@ class PatternWarehouse:
         ] = OrderedDict()
         # child fingerprint -> (parent fingerprint, delta fingerprint,
         # hop distance): the version-chain registry behind
-        # ancestor_feedstock(). In-memory only — links are cheap to
-        # re-record and meaningless without the chain's tenant.
+        # ancestor_feedstock(). Disk-backed warehouses mirror it in the
+        # durable store's manifest; memory-only warehouses keep it here.
         self._lineage: dict[str, tuple[str, str | None, int]] = {}
         self._stored_bytes = 0
         self.evictions = 0
@@ -199,9 +210,31 @@ class PatternWarehouse:
         self._quarantined_fingerprints: set[str] = set()
         #: Why persistence was abandoned (None while disk-backed works).
         self.memory_only_reason: str | None = None
+        #: Durability gauges, served through :meth:`stats`.
+        self.recovered_entries = 0
+        self.recovered_chains = 0
+        self.journal_replays = 0
+        self.gc_dropped_links = 0
+        self.gc_collapsed_hops = 0
+        #: The last :meth:`DurableStore.recover` outcome (None when
+        #: memory-only).
+        self.recovery_report: RecoveryReport | None = None
+        self._store: DurableStore | None = None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._store = DurableStore(self.directory, fault_injector)
+            report = self._store.recover(apply=repair_on_load)
+            self.recovery_report = report
+            self.recovered_chains = report.recovered_chains
+            self.journal_replays = report.journal_replays
+            self.quarantined.extend(report.quarantined)
+            self._lineage = self._store.lineage_links()
             self._load_directory()
+            self.recovered_entries = len(self._entries)
+            if report.quarantined or self.quarantined:
+                # Quarantine removed feedstock; links that can no longer
+                # route to any warehoused entry are dead weight.
+                self._prune_lineage()
 
     # ------------------------------------------------------------------
     # core operations
@@ -260,8 +293,12 @@ class PatternWarehouse:
                         self.faults.fire(
                             WAREHOUSE_WRITE, detail=f"writing {key}"
                         )
-                    write_warehouse_entry(
-                        condensed, self._entry_path(key), full_bytes=full_bytes
+                    assert self._store is not None
+                    self._store.write_entry(
+                        fingerprint,
+                        absolute_support,
+                        condensed,
+                        full_bytes=full_bytes,
                     )
                 except (OSError, InjectedFaultError) as exc:
                     self._degrade_to_memory(f"write-through for {key} failed: {exc}")
@@ -350,21 +387,31 @@ class PatternWarehouse:
         """Register one version-chain link: child derived from parent.
 
         ``distance`` is the hop's delta size (rows appended + deleted).
-        Links are in-memory only and idempotent; a child has exactly one
-        parent (re-recording overwrites), matching the chain model of
+        Links are idempotent; a child has exactly one parent
+        (re-recording overwrites), matching the chain model of
         :class:`~repro.data.versioned.VersionedDatabase`. The registry
         is what lets :meth:`ancestor_feedstock` serve a cold request for
         a new version from an ancestor's warehoused patterns, even when
-        the caller no longer holds the chain object.
+        the caller no longer holds the chain object. Disk-backed
+        warehouses journal the link into the durable manifest, so a
+        restarted service recovers every ``ancestor_feedstock`` route;
+        a write failure degrades to memory-only like any write-through.
         """
         if child_fingerprint == parent_fingerprint:
             return
+        link = (parent_fingerprint, delta_fingerprint, max(0, distance))
         with self._lock:
-            self._lineage[child_fingerprint] = (
-                parent_fingerprint,
-                delta_fingerprint,
-                max(0, distance),
-            )
+            if self._lineage.get(child_fingerprint) == link:
+                return
+            self._lineage[child_fingerprint] = link
+            if self._persisting() and self._store is not None:
+                try:
+                    self._store.record_link(child_fingerprint, *link)
+                except (OSError, InjectedFaultError) as exc:
+                    self._degrade_to_memory(
+                        f"lineage write-through for {child_fingerprint[:12]} "
+                        f"failed: {exc}"
+                    )
 
     def lineage_of(self, fingerprint: str) -> tuple[tuple[str, int], ...]:
         """``(ancestor_fingerprint, cumulative_distance)`` pairs, self first.
@@ -415,6 +462,117 @@ class PatternWarehouse:
             if hit is not None:
                 return hit
         return None
+
+    # ------------------------------------------------------------------
+    # durable chains + garbage collection
+    # ------------------------------------------------------------------
+    def persist_chain(self, record: ChainRecord) -> None:
+        """Write one version-chain hop through to the durable store.
+
+        Idempotent (the store skips identical records) and a no-op for
+        memory-only warehouses. A write failure degrades to memory-only
+        like any other write-through — the in-memory chain keeps
+        serving; only its durability is lost.
+        """
+        if not self._persisting() or self._store is None:
+            return
+        with self._lock:
+            try:
+                self._store.write_chain(record)
+            except (OSError, InjectedFaultError) as exc:
+                self._degrade_to_memory(
+                    f"chain write-through for {record.child[:12]} failed: {exc}"
+                )
+
+    def has_chain(self, child_fingerprint: str) -> bool:
+        """Whether a durable chain record exists for ``child_fingerprint``."""
+        return self._store is not None and self._store.has_chain(
+            child_fingerprint
+        )
+
+    def restore_version(
+        self, db: TransactionDatabase
+    ) -> VersionedDatabase | None:
+        """Rebuild ``db``'s version chain from durable chain records.
+
+        The recovery half of :meth:`persist_chain`: a restarted service
+        hands an *unversioned* request's database here and gets back the
+        pre-crash :class:`~repro.data.versioned.VersionedDatabase` chain
+        (as deep as intact records reach), re-opening the planner's
+        update path without the tenant resubmitting its history.
+        ``None`` when nothing applies.
+        """
+        if self._store is None:
+            return None
+        try:
+            return self._store.restore_version(db)
+        except DataError:
+            return None
+
+    def gc(self, *, dry_run: bool = False) -> GCReport:
+        """One explicit garbage-collection pass over lineage and chains.
+
+        Reachability-prunes links that no warehoused entry can justify
+        and compacts multi-hop runs through unwarehoused ancestors into
+        single composed records (see :mod:`repro.durability.gc`). The
+        automatic pruning on evict/drop/quarantine keeps the registry
+        honest; this full pass adds compaction and is what
+        ``repro warehouse --gc`` runs. ``dry_run`` plans without
+        touching disk or registries.
+        """
+        with self._lock:
+            warehoused = {fp for fp, _support in self._entries}
+            if self._store is not None and self._persisting():
+                try:
+                    report = self._store.gc(warehoused, dry_run=dry_run)
+                except (OSError, InjectedFaultError) as exc:
+                    self._degrade_to_memory(f"gc failed: {exc}")
+                    return GCReport(0, 0, 0, 0, dry_run)
+                if not dry_run:
+                    self._lineage = self._store.lineage_links()
+            else:
+                plan = plan_gc(self._lineage, {}, warehoused)
+                report = GCReport(
+                    dropped_links=len(plan.dropped_links),
+                    collapsed_hops=plan.collapsed_hops,
+                    rewritten_chains=0,
+                    dropped_chain_files=0,
+                    dry_run=dry_run,
+                )
+                if not dry_run:
+                    for child in plan.dropped_links:
+                        self._lineage.pop(child, None)
+                    for child, link in plan.link_rewrites.items():
+                        self._lineage[child] = link
+            if not dry_run:
+                self.gc_dropped_links += report.dropped_links
+                self.gc_collapsed_hops += report.collapsed_hops
+            return report
+
+    def _prune_lineage(self) -> int:
+        """Drop links/chains no warehoused entry can justify (no compaction).
+
+        The cheap, automatic half of :meth:`gc`, run after evictions,
+        drops and load-time quarantine. Returns the number of links
+        dropped.
+        """
+        with self._lock:
+            warehoused = {fp for fp, _support in self._entries}
+            chains = (
+                self._store.chain_records() if self._store is not None else {}
+            )
+            plan = plan_gc(self._lineage, chains, warehoused)
+            if not plan.dropped_links:
+                return 0
+            for child in plan.dropped_links:
+                self._lineage.pop(child, None)
+            if self._persisting() and self._store is not None:
+                try:
+                    self._store.drop_links(plan.dropped_links)
+                except (OSError, InjectedFaultError) as exc:
+                    self._degrade_to_memory(f"lineage prune failed: {exc}")
+            self.gc_dropped_links += len(plan.dropped_links)
+            return len(plan.dropped_links)
 
     # ------------------------------------------------------------------
     # integrity auditing
@@ -535,7 +693,11 @@ class PatternWarehouse:
         """Remove one entry (and its file); True if it existed.
 
         The disposal half of :meth:`verify_entry`: an entry that failed
-        its audit should not keep serving as feedstock.
+        its audit should not keep serving as feedstock. Dropping the
+        last entry for a fingerprint also prunes lineage links (and
+        chain records) that routed only to it — they can no longer
+        serve anything, so leaving them dangling would grow the
+        registry forever and mislead ``ancestor_feedstock``.
         """
         key = (fingerprint, absolute_support)
         with self._lock:
@@ -545,9 +707,11 @@ class PatternWarehouse:
             self._stored_bytes -= entry[1]
             if self._persisting():
                 try:
-                    self._entry_path(key).unlink(missing_ok=True)
-                except OSError as exc:
+                    assert self._store is not None
+                    self._store.remove_entry(fingerprint, absolute_support)
+                except (OSError, InjectedFaultError) as exc:
                     self._degrade_to_memory(f"delete of {key} failed: {exc}")
+            self._prune_lineage()
         return True
 
     # ------------------------------------------------------------------
@@ -606,6 +770,16 @@ class PatternWarehouse:
                 "quarantined": len(self.quarantined),
                 "memory_only": int(self.memory_only_reason is not None),
                 "lineage_links": len(self._lineage),
+                "chain_records": (
+                    len(self._store.chain_records())
+                    if self._store is not None
+                    else 0
+                ),
+                "recovered_entries": self.recovered_entries,
+                "recovered_chains": self.recovered_chains,
+                "journal_replays": self.journal_replays,
+                "gc_dropped_links": self.gc_dropped_links,
+                "gc_collapsed_hops": self.gc_collapsed_hops,
             }
 
     def condensation_ratio(self) -> float:
@@ -664,15 +838,22 @@ class PatternWarehouse:
     def _evict_to_budget(self) -> None:
         if self.byte_budget is None:
             return
+        evicted = False
         while self._stored_bytes > self.byte_budget and self._entries:
             key, (_patterns, size, _full) = self._entries.popitem(last=False)
             self._stored_bytes -= size
             self.evictions += 1
+            evicted = True
             if self._persisting():
                 try:
-                    self._entry_path(key).unlink(missing_ok=True)
-                except OSError as exc:
+                    assert self._store is not None
+                    self._store.remove_entry(key[0], key[1], op="evict")
+                except (OSError, InjectedFaultError) as exc:
                     self._degrade_to_memory(f"eviction of {key} failed: {exc}")
+        if evicted:
+            # Eviction-aware lineage: an evicted ancestor's now-useless
+            # links (ROADMAP open item 3) go with it.
+            self._prune_lineage()
 
     def _entry_path(self, key: tuple[str, int]) -> Path:
         fingerprint, support = key

@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.durability` — crash-safe persistence/recovery."""

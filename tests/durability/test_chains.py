@@ -1,0 +1,187 @@
+"""Unit tests for durable chain records: exact inversion, composition,
+the checksummed file format, and fingerprint-identical chain restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
+from repro.durability import (
+    ChainRecord,
+    apply_record,
+    chain_record_text,
+    compose_records,
+    invert_record,
+    read_chain_record,
+    record_from_node,
+    restore_version,
+)
+from repro.errors import DataError
+
+
+def build_chain() -> tuple[VersionedDatabase, VersionedDatabase, VersionedDatabase]:
+    """v0 → v1 (append) → v2 (mixed append + delete)."""
+    db = TransactionDatabase([[1, 2, 3], [1, 2], [2, 3], [1, 3]])
+    v0 = VersionedDatabase(db)
+    v1 = v0.apply(DatabaseDelta(appends=((1, 4), (2, 3, 4))))
+    v2 = v1.apply(
+        DatabaseDelta(appends=((3, 4),), deletes=frozenset({0, 4}))
+    )
+    return v0, v1, v2
+
+
+class TestRecordExactness:
+    def test_record_from_node_round_trips_both_directions(self):
+        _, v1, v2 = build_chain()
+        record = record_from_node(v2)
+        rebuilt_child = apply_record(v1.db, record)
+        assert rebuilt_child.fingerprint() == v2.fingerprint()
+        rebuilt_parent = invert_record(v2.db, record)
+        assert rebuilt_parent.fingerprint() == v1.fingerprint()
+
+    def test_root_has_no_record(self):
+        v0, _, _ = build_chain()
+        with pytest.raises(DataError, match="chain root"):
+            record_from_node(v0)
+
+    def test_invert_rejects_mismatched_child(self):
+        v0, v1, v2 = build_chain()
+        record = record_from_node(v2)
+        with pytest.raises(DataError, match="absent from"):
+            invert_record(v0.db, record)  # wrong database entirely
+
+    def test_composition_spans_two_hops_and_still_inverts(self):
+        v0, _, v2 = build_chain()
+        hop1 = record_from_node(v2.parent)
+        hop2 = record_from_node(v2)
+        composed = compose_records(hop2, hop1)
+        assert composed.child == v2.fingerprint()
+        assert composed.parent == v0.fingerprint()
+        assert apply_record(v0.db, composed).fingerprint() == v2.fingerprint()
+        assert invert_record(v2.db, composed).fingerprint() == v0.fingerprint()
+
+    def test_composition_rejects_disjoint_hops(self):
+        _, v1, v2 = build_chain()
+        record = record_from_node(v2)
+        with pytest.raises(DataError, match="cannot compose"):
+            compose_records(record, record)
+
+    def test_append_then_delete_cancels_out(self):
+        db = TransactionDatabase([[1, 2]])
+        v0 = VersionedDatabase(db)
+        v1 = v0.apply(DatabaseDelta(appends=((3, 4),)))
+        appended_tid = v1.db.tids[-1]
+        v2 = v1.apply(DatabaseDelta(deletes=frozenset({appended_tid})))
+        composed = compose_records(record_from_node(v2), record_from_node(v1))
+        assert composed.appends == () and composed.deletes == ()
+        assert apply_record(v0.db, composed).fingerprint() == v2.fingerprint()
+
+
+class TestFileFormat:
+    def test_file_round_trip(self, tmp_path):
+        _, _, v2 = build_chain()
+        record = record_from_node(v2)
+        path = tmp_path / "hop.chain"
+        path.write_text(chain_record_text(record))
+        assert read_chain_record(path) == record
+
+    def test_truncated_body_raises(self, tmp_path):
+        _, _, v2 = build_chain()
+        path = tmp_path / "hop.chain"
+        path.write_text(chain_record_text(record_from_node(v2))[:-4])
+        with pytest.raises(DataError, match="checksum mismatch"):
+            read_chain_record(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        _, _, v2 = build_chain()
+        text = chain_record_text(record_from_node(v2))
+        path = tmp_path / "hop.chain"
+        path.write_text("\n".join(text.splitlines()[1:]) + "\n")
+        with pytest.raises(DataError, match="missing"):
+            read_chain_record(path)
+
+    def test_future_format_rejected(self, tmp_path):
+        _, _, v2 = build_chain()
+        text = chain_record_text(record_from_node(v2))
+        path = tmp_path / "hop.chain"
+        path.write_text(text.replace("# chain_format=1", "# chain_format=99", 1))
+        with pytest.raises(DataError, match="unsupported chain format"):
+            read_chain_record(path)
+
+    def test_rows_must_match_delta_header(self, tmp_path):
+        # An intact checksum over tampered-and-rehashed rows still fails
+        # the delta-fingerprint cross-check.
+        _, _, v2 = build_chain()
+        record = record_from_node(v2)
+        tampered = ChainRecord(
+            child=record.child,
+            parent=record.parent,
+            version=record.version,
+            next_tid=record.next_tid,
+            appends=record.appends[:-1] if record.appends else record.appends,
+            deletes=record.deletes,
+        )
+        text = chain_record_text(record)
+        bad = chain_record_text(tampered)
+        # Splice tampered body + its (honest) checksum under the
+        # original delta header.
+        delta_line = next(
+            line for line in text.splitlines() if line.startswith("# delta=")
+        )
+        spliced = "\n".join(
+            delta_line if line.startswith("# delta=") else line
+            for line in bad.splitlines()
+        ) + "\n"
+        path = tmp_path / "hop.chain"
+        path.write_text(spliced)
+        with pytest.raises(DataError, match="delta fingerprint mismatch"):
+            read_chain_record(path)
+
+
+class TestRestore:
+    def test_restores_full_chain_fingerprint_identical(self):
+        v0, v1, v2 = build_chain()
+        records = {
+            v1.fingerprint(): record_from_node(v1),
+            v2.fingerprint(): record_from_node(v2),
+        }
+        restored = restore_version(v2.db, records)
+        assert restored is not None
+        assert restored.fingerprint() == v2.fingerprint()
+        assert restored.version == v2.version
+        assert restored.next_tid == v2.next_tid
+        assert restored.parent.fingerprint() == v1.fingerprint()
+        assert restored.parent.parent.fingerprint() == v0.fingerprint()
+        # The restored chain is usable exactly like the original: the
+        # delta back to the root matches.
+        ancestor = restored.ancestor(v0.fingerprint())
+        assert ancestor is not None
+        assert restored.delta_from(ancestor).size > 0
+
+    def test_unknown_database_restores_nothing(self):
+        v0, v1, v2 = build_chain()
+        records = {v2.fingerprint(): record_from_node(v2)}
+        assert restore_version(v0.db, records) is None
+
+    def test_stale_record_ends_the_walk_not_the_restore(self):
+        v0, v1, v2 = build_chain()
+        good = record_from_node(v2)
+        stale = record_from_node(v1)
+        # Corrupt the deep hop: claim a different parent fingerprint.
+        stale = ChainRecord(
+            child=stale.child,
+            parent="f" * 64,
+            version=stale.version,
+            next_tid=stale.next_tid,
+            appends=stale.appends,
+            deletes=stale.deletes,
+        )
+        restored = restore_version(
+            v2.db, {good.child: good, stale.child: stale}
+        )
+        # One hop restored (v2 → v1); the stale v1 record stopped there.
+        assert restored is not None
+        assert restored.fingerprint() == v2.fingerprint()
+        assert restored.parent.fingerprint() == v1.fingerprint()
+        assert restored.parent.parent is None

@@ -1,0 +1,90 @@
+"""Unit tests for pure GC planning: liveness, compaction, degraded runs."""
+
+from __future__ import annotations
+
+from repro.data.transactions import TransactionDatabase
+from repro.data.versioned import DatabaseDelta, VersionedDatabase
+from repro.durability import plan_gc, record_from_node
+
+
+def chain(depth: int):
+    """A straight chain v0 → … → v{depth}; returns the node list."""
+    nodes = [VersionedDatabase(TransactionDatabase([[1, 2], [2, 3]]))]
+    for i in range(depth):
+        nodes.append(nodes[-1].apply(DatabaseDelta(appends=((1, 3 + i),))))
+    return nodes
+
+
+def registries(nodes):
+    lineage = {}
+    chains = {}
+    for node in nodes[1:]:
+        record = record_from_node(node)
+        chains[record.child] = record
+        lineage[record.child] = (
+            record.parent,
+            record.delta_fingerprint(),
+            record.size,
+        )
+    return lineage, chains
+
+
+def test_everything_warehoused_is_left_alone():
+    nodes = chain(3)
+    lineage, chains = registries(nodes)
+    plan = plan_gc(lineage, chains, {n.fingerprint() for n in nodes})
+    assert plan.is_empty
+    assert plan.collapsed_hops == 0
+
+
+def test_nothing_warehoused_drops_every_link():
+    nodes = chain(3)
+    lineage, chains = registries(nodes)
+    plan = plan_gc(lineage, chains, set())
+    assert sorted(plan.dropped_links) == sorted(lineage)
+    assert plan.link_rewrites == {}
+
+
+def test_dead_tail_behind_newest_version_is_pruned():
+    # Only the newest version is warehoused: every ancestor link routes
+    # *upward* to nothing alive, so the whole tail collapses — the
+    # bounded-footprint property.
+    nodes = chain(4)
+    lineage, chains = registries(nodes)
+    plan = plan_gc(lineage, chains, {nodes[-1].fingerprint()})
+    assert sorted(plan.dropped_links) == sorted(lineage)
+
+
+def test_long_run_composes_to_nearest_warehoused_ancestor():
+    nodes = chain(3)  # v0..v3
+    lineage, chains = registries(nodes)
+    plan = plan_gc(lineage, chains, {nodes[0].fingerprint()})
+    # v1 keeps its direct hop; v2 collapses one hop, v3 collapses two.
+    assert plan.dropped_links == ()
+    assert set(plan.link_rewrites) == {
+        nodes[2].fingerprint(),
+        nodes[3].fingerprint(),
+    }
+    assert plan.collapsed_hops == 3
+    composed = plan.record_rewrites[nodes[3].fingerprint()]
+    assert composed.parent == nodes[0].fingerprint()
+    assert composed.size == 3  # three appended rows in one hop
+
+
+def test_missing_record_degrades_to_link_only_rewrite():
+    nodes = chain(3)
+    lineage, chains = registries(nodes)
+    # v2's chain record is gone (quarantined, say); its link survives.
+    del chains[nodes[2].fingerprint()]
+    plan = plan_gc(lineage, chains, {nodes[0].fingerprint()})
+    rewrite = plan.link_rewrites[nodes[3].fingerprint()]
+    assert rewrite[0] == nodes[0].fingerprint()
+    assert rewrite[1] is None  # no composed delta to fingerprint
+    assert rewrite[2] == 3  # distance still sums the run
+    assert nodes[3].fingerprint() not in plan.record_rewrites
+
+
+def test_cycle_in_stale_registries_terminates():
+    lineage = {"a": ("b", None, 1), "b": ("a", None, 1)}
+    plan = plan_gc(lineage, {}, set())
+    assert sorted(plan.dropped_links) == ["a", "b"]

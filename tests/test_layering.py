@@ -47,9 +47,18 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 #: reverse edge is banned too: ``repro.bench`` stays runnable without
 #: the archive (benchmark scripts call the snapshot writer themselves,
 #: from outside the package).
+#: ``repro.durability`` is the crash-safe persistence layer between the
+#: leaves and the service: it composes ``repro.data`` (formats, deltas,
+#: versioned chains) with ``repro.resilience`` (the persist.* fault
+#: points), and ``repro.service`` builds its warehouse on top. Nothing
+#: below the service may import it back — the miners and the data layer
+#: must stay loadable with no journal or store in scope — and the
+#: durability layer itself must never reach up into the algorithm or
+#: orchestration layers.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.data": (
         "repro.core",
+        "repro.durability",
         "repro.gateway",
         "repro.mining",
         "repro.parallel",
@@ -57,7 +66,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.service",
         "repro.storage",
     ),
-    "repro.core": ("repro.gateway", "repro.service"),
+    "repro.core": ("repro.durability", "repro.gateway", "repro.service"),
     # The update-path patch engines are pinned individually: even if the
     # blanket repro.core rule is ever relaxed, the algorithms that the
     # planner's PATH_UPDATE dispatches to must stay pure — callable from
@@ -67,26 +76,39 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.core.fup": ("repro.gateway", "repro.service"),
     "repro.core.incremental": ("repro.gateway", "repro.service"),
     "repro.mining": (
+        "repro.durability",
         "repro.gateway",
         "repro.parallel",
         "repro.resilience",
         "repro.service",
     ),
     "repro.storage": (
+        "repro.durability",
         "repro.gateway",
         "repro.parallel",
         "repro.resilience",
         "repro.service",
     ),
-    "repro.parallel": ("repro.gateway", "repro.service"),
+    "repro.parallel": ("repro.durability", "repro.gateway", "repro.service"),
     "repro.resilience": (
         "repro.core",
         "repro.data",
+        "repro.durability",
         "repro.gateway",
         "repro.mining",
         "repro.parallel",
         "repro.service",
         "repro.storage",
+    ),
+    "repro.durability": (
+        "repro.bench",
+        "repro.core",
+        "repro.gateway",
+        "repro.mining",
+        "repro.parallel",
+        "repro.service",
+        "repro.storage",
+        "repro.trends",
     ),
     "repro.service": ("repro.gateway", "repro.trends"),
     "repro.gateway": ("repro.bench", "repro.trends"),
@@ -94,6 +116,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.trends": (
         "repro.core",
         "repro.data",
+        "repro.durability",
         "repro.gateway",
         "repro.mining",
         "repro.parallel",
